@@ -1,0 +1,77 @@
+// Command shadowbinding reproduces the paper's evaluation: it runs the
+// full (configuration × scheme × benchmark) sweep and prints any table or
+// figure from the evaluation section, plus the Spectre v1 security check.
+//
+// Usage:
+//
+//	shadowbinding -experiment all
+//	shadowbinding -experiment fig6 -measure 100000
+//	shadowbinding -experiment security
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	sb "repro"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"experiment id: all, security, or one of "+strings.Join(sb.ExperimentIDs(), ", "))
+	warmup := flag.Uint64("warmup", 8_000, "warmup cycles per run")
+	measure := flag.Uint64("measure", 32_000, "measured cycles per run")
+	scale := flag.Int("scale", 1, "workload iteration multiplier")
+	quiet := flag.Bool("q", false, "suppress progress output")
+	flag.Parse()
+
+	if *experiment == "security" {
+		report, err := sb.SecurityReport()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(report)
+		return
+	}
+
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles = *warmup
+	opts.MeasureCycles = *measure
+	opts.Scale = *scale
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	eval, err := sb.NewEvaluation(opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	ids := []string{*experiment}
+	if *experiment == "all" {
+		ids = sb.ExperimentIDs()
+	}
+	for _, id := range ids {
+		out, err := eval.Experiment(id)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(out)
+	}
+	if *experiment == "all" {
+		report, err := sb.SecurityReport()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(report)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shadowbinding:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,70 @@
+// Command specrun runs a single (benchmark, configuration, scheme) cell
+// and dumps its full counter set and TraceDoctor-style analysis, including
+// the baseline comparison used for the paper's Section 9.2 discussion.
+//
+// Usage:
+//
+//	specrun -bench 548.exchange2 -config mega -scheme stt-rename
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sb "repro"
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+func main() {
+	bench := flag.String("bench", "548.exchange2", "benchmark name (see -list)")
+	config := flag.String("config", "mega", "configuration: small, medium, large, mega, gem5-stt, gem5-nda")
+	scheme := flag.String("scheme", "stt-rename", "scheme: baseline, stt-rename, stt-issue, nda")
+	warmup := flag.Uint64("warmup", 8_000, "warmup cycles")
+	measure := flag.Uint64("measure", 32_000, "measured cycles")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, p := range sb.Benchmarks() {
+			fmt.Printf("%-18s %s\n", p.Name, p.Character)
+		}
+		return
+	}
+
+	cfg, err := sb.ConfigByName(*config)
+	if err != nil {
+		fatal(err)
+	}
+	kind, ok := core.SchemeKindByName(*scheme)
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles = *warmup
+	opts.MeasureCycles = *measure
+
+	run, err := sb.RunBenchmark(cfg, kind, *bench, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n\n",
+		*bench, cfg.Name, kind, run.IPC, run.Insts, run.Cycles)
+	fmt.Println(run.Stats)
+	fmt.Println(sb.TraceOf(run))
+
+	if kind != sb.Baseline {
+		base, err := sb.RunBenchmark(cfg, sb.Baseline, *bench, opts)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := trace.Compare(sb.TraceOf(base), sb.TraceOf(run))
+		fmt.Println(cmp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "specrun:", err)
+	os.Exit(1)
+}

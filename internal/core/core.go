@@ -1,0 +1,823 @@
+// Package core implements the ShadowBinding out-of-order processor model:
+// a cycle-level, execute-driven superscalar pipeline in the style of the
+// Berkeley Out-of-Order Machine, together with the paper's three secure
+// speculation microarchitectures (STT-Rename, STT-Issue, NDA-Permissive).
+//
+// The pipeline executes speculatively down predicted paths — including
+// wrong paths, which is what makes the Spectre v1 reproduction in
+// internal/attack meaningful — and recovers through per-branch checkpoints
+// and a commit-time flush for memory-ordering violations, as BOOM does.
+//
+// Speculation shadows follow the paper's scope (Section 2.1): C-shadows
+// from unresolved conditional branches and indirect jumps, and D-shadows
+// from stores with unresolved addresses. Each cycle the visibility point
+// advances over shadow-free instructions; loads crossing it become
+// non-speculative and are broadcast — at most one per memory port per
+// cycle (Section 5.1) — which advances the YRoT-safety frontier used by
+// the STT schemes and releases NDA's withheld load broadcasts.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// watchdogCycles is the no-commit limit after which Run reports a deadlock.
+const watchdogCycles = 200_000
+
+// Core is one simulated processor core running one program.
+type Core struct {
+	cfg  Config
+	prog *isa.Program
+	sch  scheme
+	hier *mem.Hierarchy
+	main *mem.Main
+	fe   *frontend
+
+	cycle  uint64
+	seqCtr uint64
+
+	rob   *rob
+	prf   *physRegFile
+	rat   *rat
+	arat  [isa.NumRegs]int // committed RAT (memory-ordering flush recovery)
+	ckpts *checkpointFile
+	iq    []*uop
+	exec  []*uop // issued, in flight
+	lsu   *lsu
+	mdp   *memDepPredictor
+
+	divBusyUntil uint64
+
+	// Visibility point and the bounded non-speculative-load broadcast.
+	nonSpecLoadQ []*uop
+	curSafeSeq   int64 // YRoT-safety frontier as of this cycle's broadcast
+	prevSafeSeq  int64 // frontier visible to rename-stage state (1 cycle stale)
+
+	halted          bool
+	lastCommitCycle uint64
+
+	// CommitHook, when set, receives every committed instruction in order;
+	// tests use it to compare against the architectural reference model.
+	CommitHook func(isa.Commit)
+
+	Stats Stats
+}
+
+// New builds a core for the given configuration, secure scheme, and
+// program. The program's initial data image is loaded into main memory.
+func New(cfg Config, kind SchemeKind, prog *isa.Program) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Core{
+		cfg:         cfg,
+		prog:        prog,
+		main:        mem.NewMain(),
+		hier:        mem.NewHierarchy(cfg.Hier),
+		rob:         newROB(cfg.ROBSize),
+		prf:         newPhysRegFile(cfg.PhysRegs),
+		rat:         newRAT(),
+		ckpts:       newCheckpointFile(cfg.MaxBranches),
+		lsu:         newLSU(),
+		mdp:         newMemDepPredictor(),
+		curSafeSeq:  noYRoT,
+		prevSafeSeq: noYRoT,
+	}
+	for i := range c.arat {
+		c.arat[i] = i
+	}
+	c.fe = newFrontend(&c.cfg, prog)
+	c.sch = newScheme(kind, c)
+	c.main.LoadImage(prog.InitialMemory())
+	return c, nil
+}
+
+// MustNew is New that panics on error, for known-good static setups.
+func MustNew(cfg Config, kind SchemeKind, prog *isa.Program) *Core {
+	c, err := New(cfg, kind, prog)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Config returns the core's configuration.
+func (c *Core) Config() Config { return c.cfg }
+
+// Scheme returns the active secure speculation scheme.
+func (c *Core) Scheme() SchemeKind { return c.sch.kind() }
+
+// Hierarchy exposes the memory system (cache side-channel probes).
+func (c *Core) Hierarchy() *mem.Hierarchy { return c.hier }
+
+// Memory exposes architectural (committed) data memory.
+func (c *Core) Memory() *mem.Main { return c.main }
+
+// Cycle returns the current cycle number.
+func (c *Core) Cycle() uint64 { return c.cycle }
+
+// Halted reports whether the program's Halt has reached commit.
+func (c *Core) Halted() bool { return c.halted }
+
+// Step advances the machine by one cycle. Stages run back-to-front so an
+// instruction moves through at most one stage per cycle.
+func (c *Core) Step() {
+	c.cycle++
+	c.Stats.Cycles = c.cycle
+	c.commitStage()
+	if c.halted {
+		return
+	}
+	c.vpStage()
+	c.writebackStage()
+	c.issueStage()
+	c.renameStage()
+	c.fe.step(c.cycle)
+	c.Stats.Fetched = c.fe.fetched
+	c.Stats.BTBMissForcedNT = c.fe.btbMissesNT
+	c.prevSafeSeq = c.curSafeSeq
+}
+
+// RunLimits bounds a Run invocation.
+type RunLimits struct {
+	MaxCycles uint64
+	MaxInsts  uint64
+}
+
+// Result summarizes a Run.
+type Result struct {
+	Cycles uint64
+	Insts  uint64
+	IPC    float64
+	Halted bool
+	Stats  Stats
+}
+
+// Run executes until the program halts or a limit is reached. It returns
+// an error if the machine stops committing instructions (a model deadlock,
+// which is always a bug).
+func (c *Core) Run(lim RunLimits) (Result, error) {
+	if lim.MaxCycles == 0 {
+		lim.MaxCycles = ^uint64(0)
+	}
+	if lim.MaxInsts == 0 {
+		lim.MaxInsts = ^uint64(0)
+	}
+	for !c.halted && c.cycle < lim.MaxCycles && c.Stats.Committed < lim.MaxInsts {
+		c.Step()
+		if c.cycle-c.lastCommitCycle > watchdogCycles {
+			return c.result(), fmt.Errorf("core: %s/%s: no commit for %d cycles at cycle %d (pc %d, rob %d)",
+				c.cfg.Name, c.sch.kind(), watchdogCycles, c.cycle, c.fe.pc, c.rob.len())
+		}
+	}
+	return c.result(), nil
+}
+
+func (c *Core) result() Result {
+	return Result{
+		Cycles: c.cycle,
+		Insts:  c.Stats.Committed,
+		IPC:    c.Stats.IPC(),
+		Halted: c.halted,
+		Stats:  c.Stats,
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Commit
+
+func (c *Core) commitStage() {
+	for n := 0; n < c.cfg.Width; n++ {
+		u := c.rob.peek()
+		if u == nil {
+			return
+		}
+		if u.inst.Op == isa.Halt {
+			c.halted = true
+			return
+		}
+		if !u.completed() {
+			return
+		}
+		if u.orderViolation && u.isLoad() {
+			// BOOM's memory-ordering recovery: flush at commit of the load
+			// that read stale data and refetch from it. The dependence
+			// predictor learns the PC so the refetched load waits for older
+			// store addresses instead of re-violating.
+			c.Stats.MemOrderFlushes++
+			c.mdp.record(u.pc)
+			c.flushPipeline(u.pc)
+			return
+		}
+		c.rob.pop()
+		c.lastCommitCycle = c.cycle
+		c.Stats.Committed++
+		switch u.class() {
+		case isa.ClassLoad:
+			c.Stats.CommittedLoads++
+			// Commit is the definitive visibility point: a load can reach
+			// commit without the VP scan having seen it (commit runs ahead
+			// of the scan within a cycle), so advance the YRoT-safety
+			// frontier here or taints rooted at this load would never
+			// clear.
+			if !u.broadcasted {
+				u.broadcasted = true
+				if int64(u.seq) > c.curSafeSeq {
+					c.curSafeSeq = int64(u.seq)
+				}
+				c.Stats.YRoTBroadcasts++
+			}
+			if u.broadcastPending {
+				// The bounded broadcast network has not reached this load
+				// yet, but commit proves it non-speculative; release the
+				// ready broadcast before its register can be reallocated.
+				u.broadcastPending = false
+				if u.pd != noReg {
+					c.prf.readyAt[u.pd] = c.cycle
+				}
+			}
+		case isa.ClassStore:
+			c.Stats.CommittedStores++
+			c.main.Write(u.addr, u.result)
+			c.hier.Store(u.addr, c.cycle)
+		case isa.ClassBranch:
+			c.Stats.CommittedBranches++
+			c.fe.dir.Update(u.pc, u.predHist, u.taken)
+			if u.taken {
+				c.fe.btb.Update(u.pc, u.target, false, false)
+			}
+		case isa.ClassJump:
+			c.Stats.CommittedJumps++
+			if u.inst.Op == isa.Jalr {
+				isCall := u.inst.Rd == isa.RegLink
+				isRet := u.inst.Rd == isa.X0 && u.inst.Rs1 == isa.RegLink
+				c.fe.btb.Update(u.pc, u.target, isCall, isRet)
+			}
+		}
+		if u.pd != noReg {
+			c.arat[u.inst.Rd] = u.pd
+			if u.stalePd != noReg {
+				c.prf.release(u.stalePd)
+			}
+		}
+		c.releaseCheckpointOf(u)
+		c.lsu.commitOldest(u)
+		if c.CommitHook != nil {
+			c.CommitHook(commitRecord(u))
+		}
+	}
+}
+
+func (c *Core) releaseCheckpointOf(u *uop) {
+	if u.ckpt < 0 {
+		return
+	}
+	ck := c.ckpts.get(u.ckpt)
+	if ck.inUse && ck.seq == u.seq {
+		c.ckpts.release(u.ckpt)
+	}
+	u.ckpt = -1
+}
+
+func commitRecord(u *uop) isa.Commit {
+	rec := isa.Commit{
+		PC:     u.pc,
+		Inst:   u.inst,
+		Value:  u.result,
+		Taken:  u.taken,
+		Target: u.target,
+	}
+	if u.isLoad() || u.isStore() {
+		rec.Addr = u.addr &^ 7
+	}
+	if u.pd != noReg {
+		rec.Rd = u.inst.Rd
+	}
+	return rec
+}
+
+// ---------------------------------------------------------------------------
+// Visibility point and bounded broadcast
+
+func (c *Core) vpStage() {
+	c.rob.forEach(func(u *uop) bool {
+		if u.nonSpec {
+			return true
+		}
+		if u.castsCShadow() && u.state != stateDone {
+			return false
+		}
+		if u.castsDShadow() && !u.addrReady {
+			return false
+		}
+		if u.isLoad() && u.orderViolation {
+			// A load that read stale data is bound to be squashed at
+			// commit, not committed: it must never reach the visibility
+			// point, or its (wrong, possibly secret) value would be
+			// declared safe and broadcast.
+			return false
+		}
+		u.nonSpec = true
+		if u.isLoad() {
+			c.nonSpecLoadQ = append(c.nonSpecLoadQ, u)
+		}
+		return true
+	})
+	// Broadcast non-speculative loads: at most one per memory port per
+	// cycle (the broadcast network shared by STT's YRoT wakeups and NDA's
+	// delayed ready broadcasts, Sections 4.4 and 5.1).
+	for n := 0; n < c.cfg.MemPorts && len(c.nonSpecLoadQ) > 0; n++ {
+		ld := c.nonSpecLoadQ[0]
+		c.nonSpecLoadQ = c.nonSpecLoadQ[1:]
+		if ld.broadcasted {
+			continue // already broadcast at commit
+		}
+		ld.broadcasted = true
+		if int64(ld.seq) > c.curSafeSeq {
+			c.curSafeSeq = int64(ld.seq)
+		}
+		c.Stats.YRoTBroadcasts++
+		if ld.broadcastPending {
+			// NDA: release the withheld ready broadcast; dependents can
+			// issue next cycle.
+			ld.broadcastPending = false
+			c.prf.readyAt[ld.pd] = c.cycle + 1
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Writeback
+
+func (c *Core) writebackStage() {
+	if len(c.exec) == 0 {
+		return
+	}
+	inflight := c.exec
+	sort.Slice(inflight, func(i, j int) bool { return inflight[i].seq < inflight[j].seq })
+	var remaining []*uop
+	for _, u := range inflight {
+		if u.state == stateSquashed {
+			continue
+		}
+		if u.isStore() {
+			if c.storeWriteback(u) {
+				remaining = append(remaining, u)
+			}
+			continue
+		}
+		if u.doneAt > c.cycle {
+			remaining = append(remaining, u)
+			continue
+		}
+		c.completeUop(u)
+	}
+	c.exec = remaining
+}
+
+// storeWriteback advances a store's halves; it reports whether the store
+// is still in flight.
+func (c *Core) storeWriteback(u *uop) bool {
+	if u.addrIssued && !u.addrReady && u.addrDoneAt <= c.cycle {
+		u.addrReady = true
+		if v := c.lsu.checkViolations(u); v > 0 {
+			c.Stats.MemOrderViolations += uint64(v)
+		}
+	}
+	if u.dataIssued && !u.dataReady && u.dataDoneAt <= c.cycle {
+		u.dataReady = true
+	}
+	if u.addrReady && u.dataReady {
+		u.state = stateDone
+		return false
+	}
+	return true
+}
+
+func (c *Core) completeUop(u *uop) {
+	u.state = stateDone
+	if u.pd != noReg {
+		c.prf.value[u.pd] = u.result
+	}
+	switch u.class() {
+	case isa.ClassLoad:
+		c.loadBroadcast(u)
+	case isa.ClassBranch:
+		c.resolveControl(u, true)
+	case isa.ClassJump:
+		if u.inst.Op == isa.Jalr {
+			c.resolveControl(u, false)
+		}
+	}
+}
+
+// loadBroadcast applies the scheme's broadcast policy when load data
+// arrives.
+func (c *Core) loadBroadcast(u *uop) {
+	if u.pd == noReg {
+		return
+	}
+	if c.sch.delaysLoadBroadcast() && !u.nonSpec {
+		// NDA: data is written to the register file but the ready
+		// broadcast is withheld until the load is non-speculative
+		// (Figure 5b's split data-write/broadcast buses).
+		u.broadcastPending = true
+		c.Stats.DelayedBroadcasts++
+		return
+	}
+	if !c.sch.specWakeup(c.cfg.SpecWakeup) {
+		// Without speculative wakeup the broadcast follows writeback.
+		c.prf.readyAt[u.pd] = c.cycle + 1
+	}
+	// With speculative wakeup readyAt was announced at issue.
+}
+
+// resolveControl handles branch/jalr resolution, squashing on mispredict.
+func (c *Core) resolveControl(u *uop, conditional bool) {
+	c.Stats.BranchesResolved++
+	if u.target == u.predTarget {
+		c.releaseCheckpointOf(u)
+		return
+	}
+	c.Stats.Mispredicts++
+	c.squashAfterBranch(u, conditional)
+}
+
+// ---------------------------------------------------------------------------
+// Squash and flush
+
+func (c *Core) reclaim(u *uop) {
+	c.Stats.SquashedUops++
+	u.state = stateSquashed
+	if u.pd != noReg {
+		c.prf.release(u.pd)
+		u.pd = noReg
+	}
+}
+
+// squashAfterBranch restores state to the mispredicted control instruction
+// u and redirects fetch to its actual target. Younger checkpoints are
+// released; u's own checkpoint provides the RAT, taint (scheme), RAS, and
+// history recovery state.
+func (c *Core) squashAfterBranch(u *uop, conditional bool) {
+	ck := c.ckpts.get(u.ckpt)
+	c.rob.squashYoungerThan(u.seq, c.reclaim)
+	c.filterIQ()
+	c.lsu.squashYoungerThan(u.seq)
+	c.rat.restore(ck.ratCopy)
+	c.sch.restoreCheckpoint(u.ckpt)
+	c.fe.ras.Restore(ck.rasTop)
+	if conditional {
+		c.fe.ghr = ck.ghr<<1 | b2u(u.taken)
+	} else {
+		c.fe.ghr = ck.ghr
+	}
+	// Checkpoints held by squashed younger branches.
+	for id := range c.ckpts.cks {
+		if c.ckpts.cks[id].inUse && c.ckpts.cks[id].seq > u.seq {
+			c.ckpts.release(id)
+		}
+	}
+	c.releaseCheckpointOf(u)
+	c.fe.redirect(u.target)
+}
+
+// flushPipeline squashes everything in flight and refetches from pc
+// (memory-ordering violation recovery).
+func (c *Core) flushPipeline(pc uint64) {
+	c.rob.squashYoungerThan(0, c.reclaim)
+	c.rat.restore(c.arat)
+	c.ckpts.releaseAll()
+	c.sch.fullFlush()
+	c.lsu.clear()
+	c.iq = c.iq[:0]
+	c.exec = c.exec[:0]
+	c.nonSpecLoadQ = c.nonSpecLoadQ[:0]
+	c.fe.redirect(pc)
+}
+
+func (c *Core) filterIQ() {
+	live := c.iq[:0]
+	for _, u := range c.iq {
+		if u.state != stateSquashed {
+			live = append(live, u)
+		}
+	}
+	c.iq = live
+}
+
+// ---------------------------------------------------------------------------
+// Issue
+
+func (c *Core) issueStage() {
+	slots := c.cfg.IssueWidth
+	memPorts := c.cfg.MemPorts
+	aluUnits := c.cfg.Width
+	mulUnits := 1
+	divFree := c.divBusyUntil <= c.cycle
+
+	keep := make([]*uop, 0, len(c.iq))
+	for _, u := range c.iq {
+		if u.state == stateSquashed {
+			continue
+		}
+		if slots <= 0 {
+			keep = append(keep, u)
+			continue
+		}
+		switch {
+		case u.isStore():
+			c.issueStoreParts(u, &slots, &memPorts)
+			if !(u.addrIssued && u.dataIssued) {
+				keep = append(keep, u)
+			}
+		case u.isLoad():
+			if !c.issueLoad(u, &slots, &memPorts) {
+				keep = append(keep, u)
+			}
+		default:
+			if !c.issueSimple(u, &slots, &aluUnits, &mulUnits, &divFree) {
+				keep = append(keep, u)
+			}
+		}
+	}
+	c.iq = keep
+}
+
+// issueStoreParts attempts the address and data halves of a store.
+func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
+	if !u.addrIssued && *slots > 0 && *memPorts > 0 && u.retryAt <= c.cycle &&
+		c.prf.readyBy(u.ps1, c.cycle) && c.sch.canSelect(u, partStoreAddr) {
+		*slots--
+		if c.sch.onIssue(u, partStoreAddr) {
+			*memPorts--
+			u.addrIssued = true
+			u.addr = c.prf.read(u.ps1) + uint64(u.inst.Imm)
+			u.addrDoneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
+			c.Stats.IssuedUops++
+			c.markExecuting(u)
+		}
+	}
+	if !u.dataIssued && *slots > 0 && c.prf.readyBy(u.ps2, c.cycle) && c.sch.canSelect(u, partStoreData) {
+		*slots--
+		if c.sch.onIssue(u, partStoreData) {
+			u.dataIssued = true
+			u.result = c.prf.read(u.ps2)
+			u.dataDoneAt = c.cycle + c.cfg.ExecDelay + 1
+			c.Stats.IssuedUops++
+			c.markExecuting(u)
+		}
+	}
+}
+
+func (c *Core) markExecuting(u *uop) {
+	if u.state == stateWaiting {
+		u.state = stateExecuting
+		c.exec = append(c.exec, u)
+	}
+}
+
+// issueLoad attempts a load; it reports whether the uop left the queue.
+func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
+	if *memPorts <= 0 || u.retryAt > c.cycle ||
+		!c.prf.readyBy(u.ps1, c.cycle) || !c.sch.canSelect(u, partWhole) {
+		return false
+	}
+	*slots--
+	if !c.sch.onIssue(u, partWhole) {
+		return false // nop-ed by the taint unit; stays queued
+	}
+	*memPorts--
+	u.addr = c.prf.read(u.ps1) + uint64(u.inst.Imm)
+	res, val, fromSeq, sawUnknown := c.lsu.search(u)
+	if res == fwdNone && sawUnknown && c.mdp.mustWait(u.pc, c.cycle) {
+		// Dependence predictor: this load recently read stale data past an
+		// unresolved store address; wait instead of speculating no-alias.
+		c.Stats.MemDepStalls++
+		u.retryAt = c.cycle + 2
+		return false
+	}
+	switch res {
+	case fwdWait:
+		// An older store to the same word has not read its data yet; the
+		// load replays once it has.
+		c.Stats.FwdWaits++
+		u.retryAt = c.cycle + 2
+		return false
+	case fwdHit:
+		c.Stats.FwdHits++
+		u.result = val
+		u.fwdFromSeq = fromSeq
+		u.doneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat + c.cfg.FwdLat
+		u.hitL1 = true
+	case fwdNone:
+		done, hit, ok := c.hier.Load(u.pc, u.addr, c.cycle+c.cfg.ExecDelay+c.cfg.AGULat)
+		if !ok {
+			c.Stats.MSHRRetries++
+			u.retryAt = c.cycle + 2
+			return false
+		}
+		u.result = c.main.Read(u.addr)
+		u.doneAt = done
+		u.hitL1 = hit
+	}
+	c.Stats.IssuedUops++
+	if !u.nonSpec {
+		c.Stats.SpecLoadsExecuted++
+	}
+	if u.pd != noReg && c.sch.specWakeup(c.cfg.SpecWakeup) {
+		c.prf.readyAt[u.pd] = u.doneAt
+	}
+	c.markExecuting(u)
+	return true
+}
+
+// issueSimple handles ALU, MUL, DIV, branch, and jump micro-ops; it
+// reports whether the uop left the queue.
+func (c *Core) issueSimple(u *uop, slots, aluUnits, mulUnits *int, divFree *bool) bool {
+	switch u.class() {
+	case isa.ClassMul:
+		if *mulUnits <= 0 {
+			return false
+		}
+	case isa.ClassDiv:
+		if !*divFree {
+			return false
+		}
+	default:
+		if *aluUnits <= 0 {
+			return false
+		}
+	}
+	if !c.prf.readyBy(u.ps1, c.cycle) || !c.prf.readyBy(u.ps2, c.cycle) ||
+		!c.sch.canSelect(u, partWhole) {
+		return false
+	}
+	*slots--
+	if !c.sch.onIssue(u, partWhole) {
+		return false
+	}
+	a, b := c.prf.read(u.ps1), c.prf.read(u.ps2)
+	var lat uint64
+	switch u.class() {
+	case isa.ClassMul:
+		*mulUnits--
+		lat = c.cfg.MulLat
+		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+	case isa.ClassDiv:
+		*divFree = false
+		lat = c.cfg.DivLat
+		c.divBusyUntil = c.cycle + c.cfg.DivLat
+		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+	case isa.ClassBranch:
+		*aluUnits--
+		lat = c.cfg.ALULat
+		u.taken = isa.BranchTaken(u.inst.Op, a, b)
+		if u.taken {
+			u.target = uint64(int64(u.pc) + u.inst.Imm)
+		} else {
+			u.target = u.pc + 1
+		}
+	case isa.ClassJump:
+		*aluUnits--
+		lat = c.cfg.ALULat
+		u.taken = true
+		if u.pd != noReg {
+			u.result = u.pc + 1 // link value
+		}
+		if u.inst.Op == isa.Jal {
+			u.target = uint64(int64(u.pc) + u.inst.Imm)
+		} else {
+			u.target = a + uint64(u.inst.Imm)
+		}
+	default: // ALU
+		*aluUnits--
+		lat = c.cfg.ALULat
+		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+	}
+	u.doneAt = c.cycle + lat
+	if u.inst.IsControl() {
+		// Control resolution becomes visible only after the issue-to-
+		// execute depth; values still bypass at ALU latency.
+		u.doneAt += c.cfg.ExecDelay
+	}
+	if u.pd != noReg {
+		// The value is computed here and bypassed: consumers may read it
+		// as soon as readyAt, which can precede the (possibly delayed)
+		// writeback event.
+		c.prf.value[u.pd] = u.result
+		c.prf.readyAt[u.pd] = c.cycle + lat
+	}
+	c.Stats.IssuedUops++
+	c.markExecuting(u)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// Rename
+
+func (c *Core) renameStage() {
+	for n := 0; n < c.cfg.Width; n++ {
+		e, ok := c.fe.peek(c.cycle)
+		if !ok {
+			c.Stats.RenameStallEmpty++
+			return
+		}
+		in := e.inst
+		cls := isa.ClassOf(in.Op)
+		needsIQ := cls != isa.ClassNop && cls != isa.ClassHalt &&
+			!(in.Op == isa.Jal && in.Rd == isa.X0)
+		needsCkpt := cls == isa.ClassBranch || in.Op == isa.Jalr
+		switch {
+		case c.rob.full():
+			c.Stats.RenameStallROB++
+			return
+		case needsIQ && len(c.iq) >= c.cfg.IQSize:
+			c.Stats.RenameStallIQ++
+			return
+		case cls == isa.ClassLoad && c.lsu.lqLen() >= c.cfg.LQSize:
+			c.Stats.RenameStallLQ++
+			return
+		case cls == isa.ClassStore && c.lsu.sqLen() >= c.cfg.SQSize:
+			c.Stats.RenameStallSQ++
+			return
+		case in.HasDest() && !c.prf.hasFree():
+			c.Stats.RenameStallPhys++
+			return
+		case needsCkpt && !c.ckpts.hasFree():
+			c.Stats.RenameStallCkpt++
+			return
+		}
+		c.fe.consume()
+		c.seqCtr++
+		u := &uop{
+			seq:         c.seqCtr,
+			pc:          e.pc,
+			inst:        in,
+			pd:          noReg,
+			stalePd:     noReg,
+			ps1:         noReg,
+			ps2:         noReg,
+			ckpt:        -1,
+			lqIdx:       -1,
+			sqIdx:       -1,
+			fwdFromSeq:  -1,
+			yrot:        noYRoT,
+			yrotAddr:    noYRoT,
+			yrotData:    noYRoT,
+			blockedYRoT: noYRoT,
+			predTaken:   e.predTaken,
+			predTarget:  e.predTarget,
+			predHist:    e.predHist,
+			rasTop:      e.rasTop,
+			target:      e.pc + 1,
+		}
+		if in.ReadsRs1() {
+			u.ps1 = c.rat.lookup(in.Rs1)
+		}
+		if in.ReadsRs2() {
+			u.ps2 = c.rat.lookup(in.Rs2)
+		}
+		if in.HasDest() {
+			u.pd = c.prf.alloc()
+			c.sch.allocPhys(u.pd)
+			u.stalePd = c.rat.write(in.Rd, u.pd)
+		}
+		c.sch.renameOne(u)
+		if needsCkpt {
+			id := c.ckpts.alloc()
+			ck := c.ckpts.get(id)
+			ck.seq = u.seq
+			ck.ratCopy = c.rat.snapshot()
+			ck.ghr = e.predHist
+			ck.rasTop = e.rasTop
+			u.ckpt = id
+			c.sch.saveCheckpoint(id)
+		}
+		switch {
+		case cls == isa.ClassNop || cls == isa.ClassHalt:
+			u.state = stateDone
+		case in.Op == isa.Jal && in.Rd == isa.X0:
+			// A pure direct jump does no work and never mispredicts.
+			u.state = stateDone
+			u.taken = true
+			u.target = e.predTarget
+		default:
+			c.iq = append(c.iq, u)
+		}
+		if u.isLoad() {
+			c.lsu.addLoad(u)
+		}
+		if u.isStore() {
+			c.lsu.addStore(u)
+		}
+		c.rob.push(u)
+	}
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/branch"
+	"repro/internal/isa"
+)
+
+// fetchEntry is one instruction in the fetch buffer, annotated with the
+// front end's predictions.
+type fetchEntry struct {
+	pc         uint64
+	inst       isa.Inst
+	predTaken  bool
+	predTarget uint64
+	predHist   uint64 // GHR before this instruction's own prediction
+	rasTop     int    // RAS top after this instruction's push/pop
+	readyAt    uint64 // cycle the entry reaches rename (front-end depth)
+}
+
+// frontend is the fetch unit: PC, direction predictor, BTB, RAS, global
+// history, and the fetch buffer feeding rename.
+type frontend struct {
+	cfg  *Config
+	prog *isa.Program
+	dir  branch.DirPredictor
+	btb  *branch.BTB
+	ras  *branch.RAS
+
+	pc      uint64
+	ghr     uint64
+	queue   []fetchEntry
+	stalled bool // fetched a Halt (possibly wrong-path); wait for redirect
+
+	// Statistics.
+	fetched     uint64
+	btbMissesNT uint64 // predicted-taken branches forced not-taken by a BTB miss
+}
+
+func newFrontend(cfg *Config, prog *isa.Program) *frontend {
+	var dir branch.DirPredictor
+	switch cfg.Predictor {
+	case "tage":
+		dir = branch.NewDefaultTAGE()
+	case "gshare":
+		dir = branch.NewGshare(4096, 12)
+	case "bimodal":
+		dir = branch.NewBimodal(4096)
+	}
+	return &frontend{
+		cfg:  cfg,
+		prog: prog,
+		dir:  dir,
+		btb:  branch.NewBTB(cfg.BTBSize),
+		ras:  branch.NewRAS(cfg.RASDepth),
+		pc:   prog.Entry,
+	}
+}
+
+// step fetches up to Width instructions along the predicted path.
+func (f *frontend) step(now uint64) {
+	if f.stalled {
+		return
+	}
+	for n := 0; n < f.cfg.Width; n++ {
+		if len(f.queue) >= f.cfg.FetchBufSize {
+			return
+		}
+		in := f.prog.At(f.pc)
+		e := fetchEntry{
+			pc:       f.pc,
+			inst:     in,
+			predHist: f.ghr,
+			rasTop:   f.ras.Top(),
+			readyAt:  now + f.cfg.FrontendDelay,
+		}
+		f.fetched++
+		redirected := false
+		switch isa.ClassOf(in.Op) {
+		case isa.ClassHalt:
+			f.queue = append(f.queue, e)
+			f.stalled = true
+			return
+		case isa.ClassBranch:
+			pred := f.dir.Predict(f.pc, f.ghr)
+			if pred {
+				if target, _, _, hit := f.btb.Lookup(f.pc); hit {
+					e.predTaken = true
+					e.predTarget = target
+					f.pc = target
+					redirected = true
+				} else {
+					// Without a target the front end cannot redirect;
+					// fall through (an effective not-taken prediction).
+					f.btbMissesNT++
+					pred = false
+				}
+			}
+			if !pred {
+				e.predTarget = e.pc + 1
+			}
+			f.ghr = f.ghr<<1 | b2u(e.predTaken)
+		case isa.ClassJump:
+			if in.Op == isa.Jal {
+				e.predTaken = true
+				e.predTarget = uint64(int64(f.pc) + in.Imm)
+				if in.Rd == isa.RegLink {
+					f.ras.Push(f.pc + 1)
+				}
+				f.pc = e.predTarget
+				redirected = true
+			} else { // jalr
+				e.predTaken = true
+				if in.Rd == isa.X0 && in.Rs1 == isa.RegLink {
+					if target, ok := f.ras.Pop(); ok {
+						e.predTarget = target
+					} else {
+						e.predTarget = f.pc + 1
+					}
+				} else if target, _, _, hit := f.btb.Lookup(f.pc); hit {
+					e.predTarget = target
+				} else {
+					e.predTarget = f.pc + 1
+				}
+				if in.Rd == isa.RegLink {
+					f.ras.Push(f.pc + 1)
+				}
+				f.pc = e.predTarget
+				redirected = true
+			}
+		}
+		e.rasTop = f.ras.Top()
+		if !redirected {
+			e.predTarget = e.pc + 1
+			f.pc = e.pc + 1
+		}
+		f.queue = append(f.queue, e)
+		// A taken control instruction ends the fetch group.
+		if redirected && e.predTarget != e.pc+1 {
+			return
+		}
+	}
+}
+
+// redirect restarts fetch at pc, discarding the buffer.
+func (f *frontend) redirect(pc uint64) {
+	f.queue = f.queue[:0]
+	f.stalled = false
+	f.pc = pc
+}
+
+// peek returns the oldest fetch entry if it has cleared the front-end
+// pipeline by cycle now, without consuming it.
+func (f *frontend) peek(now uint64) (fetchEntry, bool) {
+	if len(f.queue) == 0 || f.queue[0].readyAt > now {
+		return fetchEntry{}, false
+	}
+	return f.queue[0], true
+}
+
+// consume removes the oldest fetch entry (after a successful peek).
+func (f *frontend) consume() {
+	f.queue = f.queue[1:]
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

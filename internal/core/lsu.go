@@ -1,0 +1,159 @@
+package core
+
+// lsu holds the load and store queues and implements store-to-load
+// forwarding and memory-ordering-violation detection. Queues are kept in
+// program (seq) order; capacities are enforced at rename.
+//
+// The LSU speculates that loads do not alias older stores with unresolved
+// addresses ("always predict no-alias", as the unmodified BOOM does). When
+// a store address resolves and a younger load turns out to have executed
+// with stale data, the load is marked with an ordering violation and the
+// pipeline is flushed when that load reaches commit — BOOM's recovery
+// mechanism. The paper's exchange2 analysis (Section 9.2) hinges on this
+// machinery: schemes that delay store address generation suffer more such
+// violations.
+type lsu struct {
+	lq []*uop
+	sq []*uop
+}
+
+func newLSU() *lsu { return &lsu{} }
+
+func (l *lsu) lqLen() int { return len(l.lq) }
+func (l *lsu) sqLen() int { return len(l.sq) }
+
+func (l *lsu) addLoad(u *uop) {
+	u.lqIdx = len(l.lq)
+	l.lq = append(l.lq, u)
+}
+
+func (l *lsu) addStore(u *uop) {
+	u.sqIdx = len(l.sq)
+	l.sq = append(l.sq, u)
+}
+
+// fwdResult is the outcome of a forwarding search.
+type fwdResult uint8
+
+const (
+	fwdNone fwdResult = iota // no older store matches: go to memory
+	fwdHit                   // forward from a ready older store
+	fwdWait                  // matching older store's data not ready yet
+)
+
+// search scans older stores for the load's address (8-byte word
+// granularity), youngest first. sawUnknown reports whether any older store
+// had an unresolved address, i.e. the load would execute speculatively.
+func (l *lsu) search(load *uop) (res fwdResult, value uint64, fromSeq int64, sawUnknown bool) {
+	addr := load.addr &^ 7
+	for i := len(l.sq) - 1; i >= 0; i-- {
+		st := l.sq[i]
+		if st.seq >= load.seq {
+			continue
+		}
+		if !st.addrReady {
+			sawUnknown = true
+			continue
+		}
+		if st.addr&^7 != addr {
+			continue
+		}
+		if st.dataReady {
+			return fwdHit, st.result, int64(st.seq), sawUnknown
+		}
+		return fwdWait, 0, int64(st.seq), sawUnknown
+	}
+	return fwdNone, 0, -1, sawUnknown
+}
+
+// checkViolations is called when a store's address resolves: any younger
+// load that already executed against the same word without forwarding from
+// this store (or a younger one) read stale data. The offending loads are
+// marked; the oldest will flush the pipeline at commit. Returns the number
+// of violations found.
+func (l *lsu) checkViolations(st *uop) int {
+	n := 0
+	addr := st.addr &^ 7
+	for _, ld := range l.lq {
+		if ld.seq <= st.seq || ld.state == stateWaiting || ld.state == stateSquashed {
+			continue
+		}
+		if ld.addr&^7 != addr {
+			continue
+		}
+		if ld.fwdFromSeq >= int64(st.seq) {
+			continue // got its data from this store or a younger one
+		}
+		if !ld.orderViolation {
+			ld.orderViolation = true
+			n++
+		}
+	}
+	return n
+}
+
+// commitOldest removes the queue head for a committing load or store.
+func (l *lsu) commitOldest(u *uop) {
+	if u.isLoad() && len(l.lq) > 0 && l.lq[0] == u {
+		l.lq = l.lq[1:]
+	}
+	if u.isStore() && len(l.sq) > 0 && l.sq[0] == u {
+		l.sq = l.sq[1:]
+	}
+}
+
+// squashYoungerThan drops all queue entries with seq > limit.
+func (l *lsu) squashYoungerThan(limit uint64) {
+	for len(l.lq) > 0 && l.lq[len(l.lq)-1].seq > limit {
+		l.lq = l.lq[:len(l.lq)-1]
+	}
+	for len(l.sq) > 0 && l.sq[len(l.sq)-1].seq > limit {
+		l.sq = l.sq[:len(l.sq)-1]
+	}
+}
+
+// clear empties both queues (full-pipeline flush).
+func (l *lsu) clear() {
+	l.lq = l.lq[:0]
+	l.sq = l.sq[:0]
+}
+
+// memDepPredictor is a store-set-style memory dependence predictor: loads
+// whose PC recently caused an ordering violation are forced to wait until
+// all older store addresses are known, instead of speculating no-alias.
+// Real BOOMs carry an equivalent structure; without it, a scheme that
+// systematically delays store addresses (STT, Section 9.2) would livelock
+// on a flush/re-violate cycle. Entries decay periodically so the predictor
+// tracks phase behaviour rather than pinning loads forever.
+type memDepPredictor struct {
+	pcs        [64]uint64
+	valid      [64]bool
+	decayEvery uint64
+	lastDecay  uint64
+}
+
+func newMemDepPredictor() *memDepPredictor {
+	return &memDepPredictor{decayEvery: 16_384}
+}
+
+func (m *memDepPredictor) index(pc uint64) int { return int(pc % uint64(len(m.pcs))) }
+
+// record marks a load PC as violation-prone.
+func (m *memDepPredictor) record(pc uint64) {
+	i := m.index(pc)
+	m.pcs[i] = pc
+	m.valid[i] = true
+}
+
+// mustWait reports whether the load at pc should wait for all older store
+// addresses, decaying stale entries as a side effect.
+func (m *memDepPredictor) mustWait(pc, now uint64) bool {
+	if now-m.lastDecay >= m.decayEvery {
+		m.lastDecay = now
+		for i := range m.valid {
+			m.valid[i] = false
+		}
+	}
+	i := m.index(pc)
+	return m.valid[i] && m.pcs[i] == pc
+}

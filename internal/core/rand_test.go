@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// randomProgram generates a structured, terminating program: an outer
+// counted loop whose body is a random mix of ALU ops, loads and stores to
+// a small data region, forward data-dependent branches, and leaf calls.
+// Termination is by construction: the only backward edge is the outer
+// loop's counter branch.
+func randomProgram(seed int64, iters int64) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder(fmt.Sprintf("rand%d", seed))
+	const base = 0x20000
+	words := make([]uint64, 256)
+	for i := range words {
+		words[i] = r.Uint64() >> 8
+	}
+	b.Data(base, words)
+
+	// Working registers x5..x15; x18 data base; x28/x29 loop counter/limit.
+	work := []isa.Reg{isa.X5, isa.X6, isa.X7, isa.X8, isa.X9, isa.X10, isa.X11, isa.X12, isa.X13, isa.X14, isa.X15}
+	pick := func() isa.Reg { return work[r.Intn(len(work))] }
+	b.Li(isa.X18, base)
+	for _, w := range work {
+		b.Li(w, int64(r.Intn(1024)))
+	}
+	b.Li(isa.X28, 0)
+	b.Li(isa.X29, iters)
+
+	// Two leaf functions used by random calls.
+	b.J("main")
+	b.Label("leaf0")
+	b.Addi(isa.X15, isa.X15, 7)
+	b.Xor(isa.X14, isa.X14, isa.X15)
+	b.Ret()
+	b.Label("leaf1")
+	b.Andi(isa.X13, isa.X13, 255)
+	b.Slli(isa.X13, isa.X13, 1)
+	b.Ret()
+
+	b.Label("main")
+	b.Label("loop")
+	nBlocks := 2 + r.Intn(3)
+	for blk := 0; blk < nBlocks; blk++ {
+		n := 3 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			switch r.Intn(10) {
+			case 0, 1, 2: // reg-reg ALU
+				ops := []isa.Op{isa.Add, isa.Sub, isa.And, isa.Or, isa.Xor, isa.Sltu}
+				b.Emit(isa.Inst{Op: ops[r.Intn(len(ops))], Rd: pick(), Rs1: pick(), Rs2: pick()})
+			case 3, 4: // reg-imm ALU
+				ops := []isa.Op{isa.Addi, isa.Andi, isa.Xori, isa.Slli, isa.Srli}
+				op := ops[r.Intn(len(ops))]
+				imm := int64(r.Intn(64))
+				b.Emit(isa.Inst{Op: op, Rd: pick(), Rs1: pick(), Imm: imm})
+			case 5: // mul/div
+				ops := []isa.Op{isa.Mul, isa.Div, isa.Rem}
+				b.Emit(isa.Inst{Op: ops[r.Intn(len(ops))], Rd: pick(), Rs1: pick(), Rs2: pick()})
+			case 6: // load from masked address
+				idx := pick()
+				b.Andi(isa.X30, idx, 255)
+				b.Slli(isa.X30, isa.X30, 3)
+				b.Add(isa.X30, isa.X30, isa.X18)
+				b.Ld(pick(), isa.X30, 0)
+			case 7: // store to masked address
+				idx := pick()
+				b.Andi(isa.X30, idx, 255)
+				b.Slli(isa.X30, isa.X30, 3)
+				b.Add(isa.X30, isa.X30, isa.X18)
+				b.Sd(pick(), isa.X30, 0)
+			case 8: // forward data-dependent branch over a couple of ops
+				skip := fmt.Sprintf("skip_%d_%d_%d", seed, blk, i)
+				b.Andi(isa.X31, pick(), 1)
+				b.Beq(isa.X31, isa.X0, skip)
+				b.Addi(pick(), pick(), 1)
+				b.Xor(pick(), pick(), pick())
+				b.Label(skip)
+			case 9: // call a leaf
+				if r.Intn(2) == 0 {
+					b.Call("leaf0")
+				} else {
+					b.Call("leaf1")
+				}
+			}
+		}
+	}
+	b.Addi(isa.X28, isa.X28, 1)
+	b.Blt(isa.X28, isa.X29, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestRandomProgramsMatchOracle is the core's main differential test: for
+// several seeds, every scheme and a sampled set of configurations must
+// commit exactly the oracle's instruction stream.
+func TestRandomProgramsMatchOracle(t *testing.T) {
+	cfgs := []Config{SmallConfig(), MegaConfig()}
+	if !testing.Short() {
+		cfgs = Configs()
+	}
+	seeds := []int64{1, 2, 3, 4, 5, 6, 7, 8}
+	if testing.Short() {
+		seeds = seeds[:3]
+	}
+	for _, seed := range seeds {
+		p := randomProgram(seed, 30)
+		for _, cfg := range cfgs {
+			for _, kind := range allSchemes() {
+				t.Run(fmt.Sprintf("seed%d/%s/%s", seed, cfg.Name, kind), func(t *testing.T) {
+					res := runChecked(t, cfg, kind, p, RunLimits{MaxCycles: 4_000_000})
+					if !res.Halted {
+						t.Fatalf("did not halt: %+v", res)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestRandomProgramsMemoryEquivalence checks final data-memory state
+// against the oracle for random store-heavy programs.
+func TestRandomProgramsMemoryEquivalence(t *testing.T) {
+	for seed := int64(10); seed < 14; seed++ {
+		p := randomProgram(seed, 20)
+		oracle := isa.NewArchSim(p)
+		if _, err := oracle.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		for _, kind := range allSchemes() {
+			c := MustNew(LargeConfig(), kind, p)
+			if _, err := c.Run(RunLimits{MaxCycles: 4_000_000}); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, kind, err)
+			}
+			for i := uint64(0); i < 256; i++ {
+				addr := 0x20000 + i*8
+				if got, want := c.Memory().Read(addr), oracle.Mem(addr); got != want {
+					t.Fatalf("seed %d %s: mem[%#x] = %d, want %d", seed, kind, addr, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSplitStoreTaintAblation verifies the Section 9.2 optimization: with
+// split store taints, STT-Rename must not be slower, and on a
+// forwarding-heavy kernel must reduce taint-blocked store address issues.
+func TestSplitStoreTaintAblation(t *testing.T) {
+	p := storeLoadProgram(300)
+	base := MegaConfig()
+	unified := MustNew(base, KindSTTRename, p)
+	resU, err := unified.Run(RunLimits{MaxCycles: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	split := base
+	split.SplitStoreTaints = true
+	sc := MustNew(split, KindSTTRename, p)
+	resS, err := sc.Run(RunLimits{MaxCycles: 2_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Cycles > resU.Cycles {
+		t.Errorf("split store taints slowed STT-Rename: %d > %d cycles", resS.Cycles, resU.Cycles)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import "repro/internal/isa"
+
+// neverReady is a readyAt sentinel for registers whose producers have not
+// yet announced a completion time.
+const neverReady = ^uint64(0)
+
+// physRegFile is the physical register file plus its free list and the
+// ready/wakeup scoreboard.
+type physRegFile struct {
+	value   []uint64
+	readyAt []uint64 // first cycle a consumer may issue using the value
+	free    []int    // LIFO free list
+}
+
+func newPhysRegFile(n int) *physRegFile {
+	p := &physRegFile{
+		value:   make([]uint64, n),
+		readyAt: make([]uint64, n),
+	}
+	// Physical registers 0..31 initially back the architectural registers
+	// and are ready with value zero; the rest are free.
+	for i := 0; i < isa.NumRegs; i++ {
+		p.readyAt[i] = 0
+	}
+	for i := n - 1; i >= isa.NumRegs; i-- {
+		p.readyAt[i] = neverReady
+		p.free = append(p.free, i)
+	}
+	return p
+}
+
+func (p *physRegFile) hasFree() bool { return len(p.free) > 0 }
+
+// alloc pops a free register and marks it not ready.
+func (p *physRegFile) alloc() int {
+	n := len(p.free)
+	if n == 0 {
+		panic("core: free list underflow")
+	}
+	r := p.free[n-1]
+	p.free = p.free[:n-1]
+	p.readyAt[r] = neverReady
+	return r
+}
+
+// release returns a register to the free list.
+func (p *physRegFile) release(r int) {
+	p.readyAt[r] = neverReady
+	p.free = append(p.free, r)
+}
+
+// readyBy reports whether register r can feed an instruction issuing at
+// cycle now. The noReg pseudo-source (x0 or unused) is always ready.
+func (p *physRegFile) readyBy(r int, now uint64) bool {
+	return r == noReg || p.readyAt[r] <= now
+}
+
+// read returns the register value; noReg reads as zero (x0).
+func (p *physRegFile) read(r int) uint64 {
+	if r == noReg {
+		return 0
+	}
+	return p.value[r]
+}
+
+// rat is the register alias table mapping architectural to physical
+// registers. Index 0 (x0) is never renamed.
+type rat struct {
+	m [isa.NumRegs]int
+}
+
+func newRAT() *rat {
+	var r rat
+	for i := range r.m {
+		r.m[i] = i
+	}
+	return &r
+}
+
+// lookup returns the physical register for an architectural source, or
+// noReg for x0.
+func (r *rat) lookup(a isa.Reg) int {
+	if a == isa.X0 {
+		return noReg
+	}
+	return r.m[a]
+}
+
+// write binds an architectural destination to a physical register and
+// returns the previous mapping (the stale register to free at commit).
+func (r *rat) write(a isa.Reg, pd int) (stale int) {
+	stale = r.m[a]
+	r.m[a] = pd
+	return stale
+}
+
+// snapshot copies the table (checkpoint).
+func (r *rat) snapshot() [isa.NumRegs]int { return r.m }
+
+// restore overwrites the table from a checkpoint.
+func (r *rat) restore(s [isa.NumRegs]int) { r.m = s }
+
+// checkpoint is the per-branch recovery state. STT-Rename additionally
+// checkpoints its taint RAT, keyed by the same id (Section 4.2).
+type checkpoint struct {
+	inUse   bool
+	seq     uint64 // seq of the owning branch
+	ratCopy [isa.NumRegs]int
+	ghr     uint64 // global history *before* this branch's prediction
+	rasTop  int
+}
+
+// checkpointFile manages the fixed pool of branch checkpoints.
+type checkpointFile struct {
+	cks []checkpoint
+}
+
+func newCheckpointFile(n int) *checkpointFile {
+	return &checkpointFile{cks: make([]checkpoint, n)}
+}
+
+func (c *checkpointFile) hasFree() bool {
+	for i := range c.cks {
+		if !c.cks[i].inUse {
+			return true
+		}
+	}
+	return false
+}
+
+// alloc claims a checkpoint slot, returning its id, or -1 if none free.
+func (c *checkpointFile) alloc() int {
+	for i := range c.cks {
+		if !c.cks[i].inUse {
+			c.cks[i].inUse = true
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *checkpointFile) get(id int) *checkpoint { return &c.cks[id] }
+
+func (c *checkpointFile) release(id int) { c.cks[id] = checkpoint{} }
+
+// releaseAll clears every checkpoint (full-pipeline flush).
+func (c *checkpointFile) releaseAll() {
+	for i := range c.cks {
+		c.cks[i] = checkpoint{}
+	}
+}

@@ -1,0 +1,78 @@
+package core
+
+// rob is the reorder buffer: a ring of in-flight uops in program order.
+type rob struct {
+	entries []*uop
+	head    int // oldest
+	tail    int // next free slot
+	count   int
+}
+
+func newROB(size int) *rob {
+	return &rob{entries: make([]*uop, size)}
+}
+
+func (r *rob) full() bool  { return r.count == len(r.entries) }
+func (r *rob) empty() bool { return r.count == 0 }
+func (r *rob) len() int    { return r.count }
+func (r *rob) cap() int    { return len(r.entries) }
+
+// push appends a uop at the tail; the caller must check full() first.
+func (r *rob) push(u *uop) {
+	if r.full() {
+		panic("core: ROB overflow")
+	}
+	r.entries[r.tail] = u
+	r.tail = (r.tail + 1) % len(r.entries)
+	r.count++
+}
+
+// peek returns the oldest uop without removing it.
+func (r *rob) peek() *uop {
+	if r.empty() {
+		return nil
+	}
+	return r.entries[r.head]
+}
+
+// pop removes and returns the oldest uop.
+func (r *rob) pop() *uop {
+	u := r.peek()
+	if u == nil {
+		panic("core: ROB underflow")
+	}
+	r.entries[r.head] = nil
+	r.head = (r.head + 1) % len(r.entries)
+	r.count--
+	return u
+}
+
+// forEach visits uops oldest-first; returning false stops the walk.
+func (r *rob) forEach(f func(u *uop) bool) {
+	i := r.head
+	for n := 0; n < r.count; n++ {
+		if !f(r.entries[i]) {
+			return
+		}
+		i = (i + 1) % len(r.entries)
+	}
+}
+
+// squashYoungerThan removes all uops with seq > limit, youngest-first,
+// invoking reclaim on each before removal. It returns the number squashed.
+func (r *rob) squashYoungerThan(limit uint64, reclaim func(u *uop)) int {
+	n := 0
+	for r.count > 0 {
+		lastIdx := (r.tail - 1 + len(r.entries)) % len(r.entries)
+		u := r.entries[lastIdx]
+		if u.seq <= limit {
+			break
+		}
+		reclaim(u)
+		r.entries[lastIdx] = nil
+		r.tail = lastIdx
+		r.count--
+		n++
+	}
+	return n
+}

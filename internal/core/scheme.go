@@ -1,0 +1,136 @@
+package core
+
+// SchemeKind enumerates the evaluated secure speculation schemes
+// (Section 7): the unsafe baseline, STT with rename-time tainting, STT
+// with issue-time tainting, and NDA-Permissive.
+type SchemeKind uint8
+
+// Scheme kinds.
+const (
+	KindBaseline SchemeKind = iota
+	KindSTTRename
+	KindSTTIssue
+	KindNDA
+)
+
+func (k SchemeKind) String() string {
+	switch k {
+	case KindBaseline:
+		return "baseline"
+	case KindSTTRename:
+		return "stt-rename"
+	case KindSTTIssue:
+		return "stt-issue"
+	case KindNDA:
+		return "nda"
+	}
+	return "scheme?"
+}
+
+// SchemeKinds returns all four kinds in the paper's presentation order.
+func SchemeKinds() []SchemeKind {
+	return []SchemeKind{KindBaseline, KindSTTRename, KindSTTIssue, KindNDA}
+}
+
+// SchemeKindByName parses a scheme name.
+func SchemeKindByName(name string) (SchemeKind, bool) {
+	for _, k := range SchemeKinds() {
+		if k.String() == name {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// issuePart selects which half of an instruction is being issued. Stores
+// are a single micro-op with independently issuing address and data halves
+// (Section 9.2); everything else issues whole.
+type issuePart uint8
+
+const (
+	partWhole issuePart = iota
+	partStoreAddr
+	partStoreData
+)
+
+// scheme is the hook interface the pipeline calls at the points the paper's
+// microarchitectures modify. The baseline is the empty implementation.
+type scheme interface {
+	kind() SchemeKind
+
+	// renameOne is called for every uop in rename (program) order. The
+	// STT-Rename taint chain lives here.
+	renameOne(u *uop)
+	// allocPhys is called when a physical destination register is
+	// allocated (STT-Issue clears the register's taint).
+	allocPhys(pd int)
+
+	// saveCheckpoint/restoreCheckpoint bracket branch checkpoints;
+	// STT-Rename must checkpoint its taint RAT (Section 4.2).
+	saveCheckpoint(id int)
+	restoreCheckpoint(id int)
+	// fullFlush clears all taint state (memory-ordering flush).
+	fullFlush()
+
+	// canSelect is the pre-selection readiness mask. A false return means
+	// the uop is not eligible this cycle and consumes no issue slot
+	// (STT-Rename knows taints at rename; blocked transmitters are never
+	// selected).
+	canSelect(u *uop, part issuePart) bool
+	// onIssue is the at-issue taint unit. A false return converts the
+	// already-consumed issue slot into a nop (STT-Issue, Section 4.3) and
+	// back-propagates the blocking YRoT into the issue-queue entry.
+	onIssue(u *uop, part issuePart) bool
+
+	// delaysLoadBroadcast reports whether completed speculative loads must
+	// withhold their ready broadcast until non-speculative (NDA).
+	delaysLoadBroadcast() bool
+	// specWakeup reports whether speculative L1-hit scheduling of load
+	// dependents is retained (NDA removes it, Section 5.1).
+	specWakeup(base bool) bool
+}
+
+// baseline is the unmodified, unsafe core.
+type baseline struct{}
+
+func (baseline) kind() SchemeKind               { return KindBaseline }
+func (baseline) renameOne(*uop)                 {}
+func (baseline) allocPhys(int)                  {}
+func (baseline) saveCheckpoint(int)             {}
+func (baseline) restoreCheckpoint(int)          {}
+func (baseline) fullFlush()                     {}
+func (baseline) canSelect(*uop, issuePart) bool { return true }
+func (baseline) onIssue(*uop, issuePart) bool   { return true }
+func (baseline) delaysLoadBroadcast() bool      { return false }
+func (baseline) specWakeup(base bool) bool      { return base }
+
+func newScheme(k SchemeKind, c *Core) scheme {
+	switch k {
+	case KindBaseline:
+		return baseline{}
+	case KindSTTRename:
+		return newSTTRename(c)
+	case KindSTTIssue:
+		return newSTTIssue(c)
+	case KindNDA:
+		return nda{}
+	}
+	panic("core: unknown scheme kind")
+}
+
+// nda implements NDA-Permissive (Section 5): the only pipeline changes are
+// the delayed, split load broadcast and the removal of speculative L1-hit
+// wakeup; the broadcast mechanics live in the core's writeback and
+// visibility-point stages.
+type nda struct{}
+
+func (nda) kind() SchemeKind               { return KindNDA }
+func (nda) renameOne(*uop)                 {}
+func (nda) allocPhys(int)                  {}
+func (nda) saveCheckpoint(int)             {}
+func (nda) restoreCheckpoint(int)          {}
+func (nda) fullFlush()                     {}
+func (nda) canSelect(*uop, issuePart) bool { return true }
+func (nda) onIssue(*uop, issuePart) bool   { return true }
+func (nda) delaysLoadBroadcast() bool      { return true }
+func (nda) specWakeup(bool) bool           { return false }

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats aggregates the core's performance counters. The taxonomy mirrors
+// the KPIs the paper extracts with TraceDoctor (Section 7): committed
+// work, stall causes, squash causes, forwarding behaviour, and the
+// scheme-specific taint/broadcast activity.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+	CommittedJumps    uint64
+
+	Fetched uint64
+
+	// Control speculation.
+	BranchesResolved uint64
+	Mispredicts      uint64
+	BTBMissForcedNT  uint64
+
+	// Memory speculation.
+	MemOrderViolations uint64 // loads found to have read stale data
+	MemOrderFlushes    uint64 // pipeline flushes at commit of such loads
+	FwdHits            uint64 // store-to-load forwards
+	FwdWaits           uint64 // loads replayed waiting for store data
+	SpecLoadsExecuted  uint64 // loads executed while speculative
+	MSHRRetries        uint64
+	MemDepStalls       uint64 // dependence-predictor forced waits
+
+	SquashedUops uint64
+
+	// Rename stalls, counted per stalled slot-cycle.
+	RenameStallROB   uint64
+	RenameStallIQ    uint64
+	RenameStallLQ    uint64
+	RenameStallSQ    uint64
+	RenameStallPhys  uint64
+	RenameStallCkpt  uint64
+	RenameStallEmpty uint64 // fetch buffer empty (front-end starvation)
+
+	IssuedUops uint64
+
+	// Secure-scheme activity.
+	TaintedRenames      uint64 // STT-Rename: uops renamed with a live YRoT
+	MaxRenameChain      int    // STT-Rename: deepest same-cycle YRoT chain
+	RenameChainSum      uint64
+	TaintBlockedSelects uint64 // STT-Rename: selection vetoes (uop-cycles)
+	TaintNopSlots       uint64 // STT-Issue: issue slots wasted on nops
+	YRoTBroadcasts      uint64 // non-speculative-load broadcasts
+	DelayedBroadcasts   uint64 // NDA: load broadcasts withheld at completion
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// MispredictRate returns mispredictions per resolved branch.
+func (s Stats) MispredictRate() float64 {
+	if s.BranchesResolved == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.BranchesResolved)
+}
+
+// String renders a compact multi-line counter dump.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles               %12d\n", s.Cycles)
+	fmt.Fprintf(&b, "committed            %12d  (IPC %.4f)\n", s.Committed, s.IPC())
+	fmt.Fprintf(&b, "  loads/stores       %12d / %d\n", s.CommittedLoads, s.CommittedStores)
+	fmt.Fprintf(&b, "  branches/jumps     %12d / %d\n", s.CommittedBranches, s.CommittedJumps)
+	fmt.Fprintf(&b, "fetched              %12d\n", s.Fetched)
+	fmt.Fprintf(&b, "branches resolved    %12d  (%.2f%% mispredicted)\n", s.BranchesResolved, 100*s.MispredictRate())
+	fmt.Fprintf(&b, "mem-order violations %12d  (flushes %d)\n", s.MemOrderViolations, s.MemOrderFlushes)
+	fmt.Fprintf(&b, "stlf hits/waits      %12d / %d\n", s.FwdHits, s.FwdWaits)
+	fmt.Fprintf(&b, "speculative loads    %12d\n", s.SpecLoadsExecuted)
+	fmt.Fprintf(&b, "squashed uops        %12d\n", s.SquashedUops)
+	fmt.Fprintf(&b, "issued uops          %12d\n", s.IssuedUops)
+	fmt.Fprintf(&b, "rename stalls        rob %d iq %d lq %d sq %d phys %d ckpt %d fe %d\n",
+		s.RenameStallROB, s.RenameStallIQ, s.RenameStallLQ, s.RenameStallSQ,
+		s.RenameStallPhys, s.RenameStallCkpt, s.RenameStallEmpty)
+	fmt.Fprintf(&b, "taint: renames %d, max chain %d, blocked selects %d, nop slots %d\n",
+		s.TaintedRenames, s.MaxRenameChain, s.TaintBlockedSelects, s.TaintNopSlots)
+	fmt.Fprintf(&b, "broadcasts: yrot %d, delayed %d\n", s.YRoTBroadcasts, s.DelayedBroadcasts)
+	return b.String()
+}

@@ -1,0 +1,111 @@
+package core
+
+// sttIssue implements the paper's novel STT microarchitecture (Section
+// 4.3): taint computation is delayed until the issue stage and performed
+// over physical registers by a taint unit. There is no same-cycle
+// dependency chain (dependent instructions cannot issue together) and no
+// taint checkpoints (physical-register taints are overwritten on
+// reallocation before reuse), at the cost of a taint table sized by the
+// physical register count and of wasted issue slots: a tainted transmitter
+// is only discovered after selection and is replaced with a nop.
+//
+// The issue-stage taint unit reads the current cycle's non-speculative-
+// load frontier, one cycle fresher than what STT-Rename's rename-stage
+// state can see — the one-cycle issue advantage of Section 9.1.
+type sttIssue struct {
+	c     *Core
+	taint []int64 // per physical register
+}
+
+func newSTTIssue(c *Core) *sttIssue {
+	s := &sttIssue{c: c, taint: make([]int64, c.cfg.PhysRegs)}
+	for i := range s.taint {
+		s.taint[i] = noYRoT
+	}
+	return s
+}
+
+func (s *sttIssue) kind() SchemeKind { return KindSTTIssue }
+
+func (s *sttIssue) renameOne(*uop) {}
+
+// allocPhys clears the taint of a freshly allocated register. This is why
+// STT-Issue needs no checkpoints: a stale taint can only be observed
+// through a register that is still architecturally live, and live
+// registers' taints are valid across squashes (Section 4.3).
+func (s *sttIssue) allocPhys(pd int) { s.taint[pd] = noYRoT }
+
+func (s *sttIssue) saveCheckpoint(int)    {}
+func (s *sttIssue) restoreCheckpoint(int) {}
+
+func (s *sttIssue) fullFlush() {
+	for i := range s.taint {
+		s.taint[i] = noYRoT
+	}
+}
+
+// sourceTaint reads a physical source's taint, treating already-safe roots
+// as untainted.
+func (s *sttIssue) sourceTaint(ps int) int64 {
+	if ps == noReg {
+		return noYRoT
+	}
+	t := s.taint[ps]
+	if t <= s.c.curSafeSeq {
+		return noYRoT
+	}
+	return t
+}
+
+// canSelect masks an entry whose back-propagated YRoT is still unsafe
+// (step 5 in Figure 4): after a nop-issue, the entry is not re-selected
+// until the YRoT broadcast declares it safe.
+func (s *sttIssue) canSelect(u *uop, part issuePart) bool {
+	if part == partStoreData {
+		return true
+	}
+	if u.blockedYRoT != noYRoT && u.blockedYRoT > s.c.curSafeSeq {
+		return false
+	}
+	return true
+}
+
+// onIssue is the taint unit (step 2 in Figure 4): compute the YRoT from
+// the operands' taints, bar tainted transmitters (wasting the slot), and
+// propagate the taint to the destination register.
+func (s *sttIssue) onIssue(u *uop, part issuePart) bool {
+	var y int64
+	switch part {
+	case partStoreAddr:
+		// Only the address operand transmits; an untainted address can
+		// issue even while the data operand is tainted (Section 9.2).
+		y = s.sourceTaint(u.ps1)
+	case partStoreData:
+		return true
+	default:
+		y = s.sourceTaint(u.ps1)
+		if t2 := s.sourceTaint(u.ps2); t2 > y {
+			y = t2
+		}
+	}
+	if y != noYRoT && transmitterPart(u, part) {
+		// Tainted transmitter: issue a nop instead and back-propagate the
+		// YRoT to the issue-queue entry (steps 4 and 5 in Figure 4).
+		u.blockedYRoT = y
+		u.wasNopped = true
+		s.c.Stats.TaintNopSlots++
+		return false
+	}
+	u.blockedYRoT = noYRoT
+	if u.pd != noReg {
+		if u.isLoad() {
+			s.taint[u.pd] = int64(u.seq)
+		} else {
+			s.taint[u.pd] = y
+		}
+	}
+	return true
+}
+
+func (s *sttIssue) delaysLoadBroadcast() bool { return false }
+func (s *sttIssue) specWakeup(base bool) bool { return base }

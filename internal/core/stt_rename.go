@@ -1,0 +1,151 @@
+package core
+
+import "repro/internal/isa"
+
+// sttRename implements Speculative Taint Tracking with taint computation in
+// the rename stage (Section 4.1). The YRoT (youngest root of taint) of each
+// renamed instruction is the youngest taint among its sources; because a
+// source may be renamed in the same cycle, YRoT computations chain through
+// the rename group — the single-cycle dependency chain the paper identifies
+// as STT-Rename's fundamental scaling limit. The chain itself is a timing
+// phenomenon (modeled in internal/synth); here we faithfully compute the
+// values it produces and record the chain depths reached.
+//
+// YRoTs are load sequence numbers. A YRoT is safe once the core's
+// non-speculative-load frontier (advanced by the bounded YRoT broadcast in
+// the visibility-point stage) has passed it. Blocked transmitters consult
+// the previous cycle's frontier: the rename-stage taint RAT learns about
+// broadcasts one cycle later than the issue-stage taint unit, which is the
+// one-cycle disadvantage versus STT-Issue discussed in Section 9.1.
+type sttRename struct {
+	c     *Core
+	taint [isa.NumRegs]int64
+	ckpts [][isa.NumRegs]int64
+
+	// Same-cycle chain tracking for statistics: which rename cycle last
+	// wrote each taint entry, and at what chain depth.
+	writtenAt  [isa.NumRegs]uint64
+	chainDepth [isa.NumRegs]int
+}
+
+func newSTTRename(c *Core) *sttRename {
+	s := &sttRename{c: c, ckpts: make([][isa.NumRegs]int64, c.cfg.MaxBranches)}
+	for i := range s.taint {
+		s.taint[i] = noYRoT
+	}
+	return s
+}
+
+func (s *sttRename) kind() SchemeKind { return KindSTTRename }
+
+// sourceTaint reads one source's taint and the same-cycle chain depth it
+// was produced at.
+func (s *sttRename) sourceTaint(r isa.Reg) (int64, int) {
+	if r == isa.X0 {
+		return noYRoT, 0
+	}
+	t := s.taint[r]
+	if t == noYRoT {
+		return noYRoT, 0
+	}
+	depth := 0
+	if s.writtenAt[r] == s.c.cycle {
+		depth = s.chainDepth[r]
+	}
+	return t, depth
+}
+
+func (s *sttRename) renameOne(u *uop) {
+	var t1, t2 int64 = noYRoT, noYRoT
+	var d1, d2 int
+	if u.inst.ReadsRs1() {
+		t1, d1 = s.sourceTaint(u.inst.Rs1)
+	}
+	if u.inst.ReadsRs2() {
+		t2, d2 = s.sourceTaint(u.inst.Rs2)
+	}
+	yrot := t1
+	if t2 > yrot {
+		yrot = t2
+	}
+	depth := d1
+	if d2 > depth {
+		depth = d2
+	}
+	u.yrot = yrot
+	if s.c.cfg.SplitStoreTaints && u.isStore() {
+		u.yrotAddr = t1
+		u.yrotData = t2
+	}
+	if yrot != noYRoT {
+		s.c.Stats.TaintedRenames++
+		depth++ // this uop's own comparator extends the chain
+		if depth > s.c.Stats.MaxRenameChain {
+			s.c.Stats.MaxRenameChain = depth
+		}
+		s.c.Stats.RenameChainSum += uint64(depth)
+	}
+	if u.inst.HasDest() {
+		rd := u.inst.Rd
+		if u.isLoad() {
+			// A load's destination is rooted at the load itself.
+			s.taint[rd] = int64(u.seq)
+		} else {
+			s.taint[rd] = yrot
+		}
+		s.writtenAt[rd] = s.c.cycle
+		s.chainDepth[rd] = depth
+	}
+}
+
+func (s *sttRename) allocPhys(int) {}
+
+func (s *sttRename) saveCheckpoint(id int)    { s.ckpts[id] = s.taint }
+func (s *sttRename) restoreCheckpoint(id int) { s.taint = s.ckpts[id] }
+
+func (s *sttRename) fullFlush() {
+	for i := range s.taint {
+		s.taint[i] = noYRoT
+	}
+}
+
+// partYRoT returns the YRoT governing the given part of u.
+func (s *sttRename) partYRoT(u *uop, part issuePart) int64 {
+	if s.c.cfg.SplitStoreTaints && u.isStore() {
+		switch part {
+		case partStoreAddr:
+			return u.yrotAddr
+		case partStoreData:
+			return u.yrotData
+		}
+	}
+	return u.yrot
+}
+
+func (s *sttRename) canSelect(u *uop, part issuePart) bool {
+	if !transmitterPart(u, part) {
+		return true
+	}
+	y := s.partYRoT(u, part)
+	if y <= s.c.prevSafeSeq {
+		return true
+	}
+	s.c.Stats.TaintBlockedSelects++
+	return false
+}
+
+func (s *sttRename) onIssue(*uop, issuePart) bool { return true }
+
+func (s *sttRename) delaysLoadBroadcast() bool { return false }
+func (s *sttRename) specWakeup(base bool) bool { return base }
+
+// transmitterPart reports whether issuing the given part of u has an
+// observable, operand-dependent effect. Store address generation transmits
+// (it becomes visible to store-to-load forwarding); store data movement
+// does not — stores only write the cache at non-speculative commit.
+func transmitterPart(u *uop, part issuePart) bool {
+	if u.isStore() {
+		return part == partStoreAddr
+	}
+	return u.isTransmitter()
+}

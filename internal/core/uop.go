@@ -1,0 +1,120 @@
+package core
+
+import "repro/internal/isa"
+
+// uopState tracks a micro-op through the backend.
+type uopState uint8
+
+const (
+	stateWaiting   uopState = iota // in the issue queue
+	stateExecuting                 // issued, in a functional unit or the LSU
+	stateDone                      // result written back, awaiting commit
+	stateSquashed                  // killed; awaiting ROB cleanup
+)
+
+// noReg marks an absent physical register operand.
+const noReg = -1
+
+// noYRoT marks an untainted YRoT. YRoTs are load sequence numbers; a YRoT
+// is safe once the core's non-speculative-load frontier has passed it, so
+// -1 (older than every load) is always safe.
+const noYRoT int64 = -1
+
+// uop is one in-flight micro-op. Stores are a single micro-op whose address
+// and data halves can issue independently (BOOM-style partial issue,
+// Section 9.2 of the paper).
+type uop struct {
+	seq  uint64 // global age; assigned at rename
+	pc   uint64
+	inst isa.Inst
+
+	// Rename state.
+	pd      int // physical destination, noReg if none
+	stalePd int // previous mapping of the destination, freed at commit
+	ps1     int // physical sources, noReg when the arch source is x0/unused
+	ps2     int
+	ckpt    int // checkpoint id for branches/jalr, -1 otherwise
+
+	state uopState
+
+	// Prediction state (control instructions).
+	predTaken  bool
+	predTarget uint64
+	predHist   uint64 // global history at prediction time
+	rasTop     int    // RAS top at prediction time
+
+	// Execution results.
+	taken   bool
+	target  uint64 // next PC (control); pc+1 otherwise
+	result  uint64
+	doneAt  uint64 // cycle the result is (or will be) available
+	hitL1   bool   // loads: L1 hit
+	retryAt uint64 // LSU retry backoff (MSHR full / forwarding wait)
+
+	addrDoneAt uint64 // stores: cycle the address half completes
+	dataDoneAt uint64 // stores: cycle the data half completes
+
+	broadcastPending bool // NDA: completed but ready-broadcast withheld
+	broadcasted      bool // has advanced the non-speculative-load frontier
+
+	// Store halves.
+	addrIssued bool
+	dataIssued bool
+	addrReady  bool // effective address computed (clears the D-shadow)
+	dataReady  bool
+
+	// Memory state.
+	addr           uint64
+	lqIdx          int   // index in the load queue, -1 otherwise
+	sqIdx          int   // index in the store queue, -1 otherwise
+	fwdFromSeq     int64 // seq of the store this load forwarded from, -1 none
+	orderViolation bool  // memory ordering violation; flush when it reaches commit
+
+	// Speculation state.
+	nonSpec bool // passed the visibility point (bound to commit)
+
+	// Secure-scheme state.
+	yrot        int64 // STT-Rename: YRoT computed at rename
+	yrotAddr    int64 // split-store-taint ablation: address-half YRoT
+	yrotData    int64 // split-store-taint ablation: data-half YRoT
+	blockedYRoT int64 // STT-Issue: YRoT back-propagated into the IQ entry
+	wasNopped   bool  // STT-Issue: at least one issue slot was wasted
+}
+
+// class returns the uop's operation class.
+func (u *uop) class() isa.Class { return isa.ClassOf(u.inst.Op) }
+
+// isLoad reports whether the uop is a load.
+func (u *uop) isLoad() bool { return u.class() == isa.ClassLoad }
+
+// isStore reports whether the uop is a store.
+func (u *uop) isStore() bool { return u.class() == isa.ClassStore }
+
+// castsCShadow reports whether the uop casts a control shadow until it
+// executes: conditional branches and indirect jumps. Direct jumps (jal)
+// never mispredict in this machine.
+func (u *uop) castsCShadow() bool {
+	return u.class() == isa.ClassBranch || u.inst.Op == isa.Jalr
+}
+
+// castsDShadow reports whether the uop casts a data (memory aliasing)
+// shadow until its address is known.
+func (u *uop) castsDShadow() bool { return u.isStore() }
+
+// isTransmitter reports whether executing the uop has an observable,
+// operand-dependent effect (Section 3.1): loads and store address
+// generation (cache/STLF visibility), conditional branches and indirect
+// jumps (resolution timing), and divides (operand-dependent latency in
+// real dividers).
+func (u *uop) isTransmitter() bool {
+	switch u.class() {
+	case isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassDiv:
+		return true
+	case isa.ClassJump:
+		return u.inst.Op == isa.Jalr
+	}
+	return false
+}
+
+// completed reports whether the uop is finished and eligible to commit.
+func (u *uop) completed() bool { return u.state == stateDone }

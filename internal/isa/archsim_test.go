@@ -1,0 +1,179 @@
+package isa
+
+import "testing"
+
+// sumProgram computes sum of 0..n-1 in x10 using a loop.
+func sumProgram(n int64) *Program {
+	b := NewBuilder("sum")
+	b.Li(X5, 0)  // i
+	b.Li(X6, n)  // limit
+	b.Li(X10, 0) // acc
+	b.Label("loop")
+	b.Add(X10, X10, X5)
+	b.Addi(X5, X5, 1)
+	b.Blt(X5, X6, "loop")
+	b.Halt()
+	return b.MustBuild()
+}
+
+func TestArchSimSumLoop(t *testing.T) {
+	p := sumProgram(10)
+	s := NewArchSim(p)
+	if _, err := s.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Reg(X10); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+	// 3 setup + 10 iterations of 3 + halt not counted (Halt does not count).
+	if got := s.InstCount(); got != 33 {
+		t.Errorf("inst count = %d, want 33", got)
+	}
+}
+
+func TestArchSimLoadsStores(t *testing.T) {
+	b := NewBuilder("memtest")
+	const base = 0x1000
+	b.Data(base, []uint64{11, 22, 33})
+	b.Li(X5, base)
+	b.Ld(X6, X5, 8)     // x6 = 22
+	b.Addi(X6, X6, 100) // 122
+	b.Sd(X6, X5, 16)    // M[base+16] = 122
+	b.Ld(X7, X5, 16)    // x7 = 122
+	b.Halt()
+	p := b.MustBuild()
+	s := NewArchSim(p)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg(X7) != 122 {
+		t.Errorf("x7 = %d, want 122", s.Reg(X7))
+	}
+	if s.Mem(base+16) != 122 {
+		t.Errorf("mem = %d, want 122", s.Mem(base+16))
+	}
+	if s.Mem(base) != 11 {
+		t.Errorf("mem[base] = %d, want 11", s.Mem(base))
+	}
+}
+
+func TestArchSimCallReturn(t *testing.T) {
+	b := NewBuilder("call")
+	b.Li(X10, 5)
+	b.Call("double")
+	b.Addi(X10, X10, 1) // 11
+	b.Halt()
+	b.Label("double")
+	b.Add(X10, X10, X10)
+	b.Ret()
+	p := b.MustBuild()
+	s := NewArchSim(p)
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg(X10) != 11 {
+		t.Errorf("x10 = %d, want 11", s.Reg(X10))
+	}
+}
+
+func TestArchSimX0AlwaysZero(t *testing.T) {
+	b := NewBuilder("x0")
+	b.Addi(X0, X0, 42)
+	b.Add(X5, X0, X0)
+	b.Halt()
+	s := NewArchSim(b.MustBuild())
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.Reg(X0) != 0 || s.Reg(X5) != 0 {
+		t.Errorf("x0 = %d, x5 = %d; want 0, 0", s.Reg(X0), s.Reg(X5))
+	}
+}
+
+func TestArchSimHaltIdempotent(t *testing.T) {
+	b := NewBuilder("halt")
+	b.Halt()
+	s := NewArchSim(b.MustBuild())
+	c1 := s.Step()
+	c2 := s.Step()
+	if !s.Halted() {
+		t.Fatal("not halted")
+	}
+	if c1.Inst.Op != Halt || c2.Inst.Op != Halt {
+		t.Errorf("steps after halt: %v, %v", c1.Inst, c2.Inst)
+	}
+	if s.InstCount() != 0 {
+		t.Errorf("halt must not count as executed, got %d", s.InstCount())
+	}
+}
+
+func TestArchSimRunawayPCDecodesHalt(t *testing.T) {
+	b := NewBuilder("runaway")
+	b.Addi(X5, X0, 1) // falls off the end
+	s := NewArchSim(b.MustBuild())
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Halted() {
+		t.Error("machine should halt when PC runs past the program")
+	}
+}
+
+func TestArchSimRunLimit(t *testing.T) {
+	b := NewBuilder("infinite")
+	b.Label("spin")
+	b.J("spin")
+	s := NewArchSim(b.MustBuild())
+	n, err := s.Run(50)
+	if err == nil {
+		t.Fatal("expected error for non-terminating program")
+	}
+	if n != 50 {
+		t.Errorf("executed %d, want 50", n)
+	}
+}
+
+func TestBuilderValidateRejectsBadTargets(t *testing.T) {
+	p := &Program{Name: "bad", Insts: []Inst{{Op: Beq, Imm: 100}}}
+	if err := p.Validate(); err == nil {
+		t.Error("expected validation error for out-of-range branch target")
+	}
+	p2 := &Program{Name: "bad2", Insts: []Inst{{Op: Jal, Imm: -5}}}
+	if err := p2.Validate(); err == nil {
+		t.Error("expected validation error for out-of-range jal target")
+	}
+}
+
+func TestBuilderDuplicateLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate label")
+		}
+	}()
+	b := NewBuilder("dup")
+	b.Label("a")
+	b.Label("a")
+}
+
+func TestBuilderUndefinedLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on undefined label")
+		}
+	}()
+	b := NewBuilder("undef")
+	b.J("nowhere")
+	b.Build()
+}
+
+func TestProgramInitialMemory(t *testing.T) {
+	b := NewBuilder("mem")
+	b.Data(0x100, []uint64{1, 2})
+	b.Data(0x108, []uint64{9}) // overlaps second word
+	b.Halt()
+	p := b.MustBuild()
+	m := p.InitialMemory()
+	if m[0x100] != 1 || m[0x108] != 9 {
+		t.Errorf("initial memory = %v", m)
+	}
+}

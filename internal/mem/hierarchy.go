@@ -1,0 +1,226 @@
+package mem
+
+// HierarchyConfig describes the full data-memory system.
+type HierarchyConfig struct {
+	L1D    CacheConfig
+	L2     CacheConfig
+	MemLat uint64 // DRAM access latency beyond the L2
+	MSHRs  int    // outstanding L1 demand misses
+
+	PrefetchTable  int
+	PrefetchConf   int
+	PrefetchDegree int
+}
+
+// DefaultHierarchyConfig returns a BOOM-like memory system: 32 KiB 8-way
+// L1D with a 4-cycle hit, 512 KiB 8-way L2 with a 14-cycle hit beyond the
+// L1, and ~90 cycles to DRAM. Stride prefetchers train at the L1D.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1D:            CacheConfig{Name: "L1D", SizeKB: 32, Ways: 8, LineB: 64, HitLat: 4, FillLat: 2, Prefetch: true},
+		L2:             CacheConfig{Name: "L2", SizeKB: 512, Ways: 8, LineB: 64, HitLat: 14, FillLat: 4},
+		MemLat:         90,
+		MSHRs:          8,
+		PrefetchTable:  256,
+		PrefetchConf:   2,
+		PrefetchDegree: 2,
+	}
+}
+
+// Gem5HierarchyConfig returns the idealized memory system that Section 9.5
+// criticizes in earlier gem5-based evaluations: a single-cycle L1 hit and a
+// generous MSHR pool, which understates the cost of delaying loads.
+func Gem5HierarchyConfig() HierarchyConfig {
+	c := DefaultHierarchyConfig()
+	c.L1D.HitLat = 1
+	c.L2.HitLat = 10
+	c.MemLat = 70
+	c.MSHRs = 16
+	return c
+}
+
+// Hierarchy is the data-memory timing front door used by the LSU.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	l1d *Cache
+	l2  *Cache
+	pf  *StridePrefetcher
+
+	mshrs []mshr
+
+	// Statistics.
+	Loads         uint64
+	Stores        uint64
+	MSHRRejects   uint64
+	PrefetchFills uint64
+	DemandToDRAM  uint64
+}
+
+type mshr struct {
+	line uint64
+	done uint64
+}
+
+// NewHierarchy builds the memory system.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	h := &Hierarchy{
+		cfg: cfg,
+		l1d: NewCache(cfg.L1D),
+		l2:  NewCache(cfg.L2),
+	}
+	if cfg.PrefetchTable > 0 {
+		h.pf = NewStridePrefetcher(cfg.PrefetchTable, cfg.PrefetchConf, cfg.PrefetchDegree)
+	}
+	return h
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// L1D exposes the first-level cache (side-channel probes, stats).
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+
+// L2 exposes the second-level cache.
+func (h *Hierarchy) L2() *Cache { return h.l2 }
+
+func (h *Hierarchy) expire(now uint64) {
+	live := h.mshrs[:0]
+	for _, m := range h.mshrs {
+		if m.done > now {
+			live = append(live, m)
+		}
+	}
+	h.mshrs = live
+}
+
+// Load performs a demand load access for the load at pc to addr at cycle
+// now. It returns the cycle the data is available and whether the access
+// was accepted; a false return means all MSHRs are busy and the LSU must
+// retry. hitL1 reports whether the access hit in the L1 (used by the
+// speculative-wakeup scheduler).
+func (h *Hierarchy) Load(pc, addr, now uint64) (done uint64, hitL1, accepted bool) {
+	line := h.l1d.LineAddr(addr)
+	h.expire(now)
+
+	// A line with an in-flight fill (from a prior miss or a prefetch) is a
+	// hit whose data arrives when the fill completes.
+	if present, _ := h.l1d.Lookup(line); !present {
+		// True miss: needs an MSHR unless one is already allocated for this
+		// line (miss merge).
+		merged := false
+		for _, m := range h.mshrs {
+			if m.line == line {
+				merged = true
+				break
+			}
+		}
+		if !merged && len(h.mshrs) >= h.cfg.MSHRs {
+			h.MSHRRejects++
+			return 0, false, false
+		}
+	}
+
+	h.Loads++
+	avail, hit := h.l1d.Access(line, now, false)
+	if hit {
+		h.train(pc, line, now)
+		return avail, true, true
+	}
+
+	// L1 miss: probe the L2.
+	l2Start := now + h.cfg.L1D.HitLat
+	l2Avail, l2Hit := h.l2.Access(line, l2Start, false)
+	if !l2Hit {
+		h.DemandToDRAM++
+		l2Avail = l2Start + h.cfg.L2.HitLat + h.cfg.MemLat
+		h.l2.Fill(line, l2Avail, false)
+	}
+	done = l2Avail + h.cfg.L1D.FillLat
+	h.l1d.Fill(line, done, false)
+	h.mshrs = append(h.mshrs, mshr{line: line, done: done})
+	h.train(pc, line, now)
+	return done, false, true
+}
+
+// Store performs the commit-time cache write for a store to addr at cycle
+// now, returning when the write completes. Stores drain from a post-commit
+// store buffer, so the latency rarely stalls the core; write misses
+// allocate without consuming load MSHRs.
+func (h *Hierarchy) Store(addr, now uint64) (done uint64) {
+	h.Stores++
+	line := h.l1d.LineAddr(addr)
+	avail, hit := h.l1d.Access(line, now, true)
+	if hit {
+		return avail
+	}
+	l2Start := now + h.cfg.L1D.HitLat
+	l2Avail, l2Hit := h.l2.Access(line, l2Start, true)
+	if !l2Hit {
+		l2Avail = l2Start + h.cfg.L2.HitLat + h.cfg.MemLat
+		h.l2.Fill(line, l2Avail, true)
+	}
+	done = l2Avail + h.cfg.L1D.FillLat
+	h.l1d.Fill(line, done, true)
+	return done
+}
+
+func (h *Hierarchy) train(pc, line, now uint64) {
+	if h.pf == nil {
+		return
+	}
+	for _, target := range h.pf.Train(pc, line) {
+		tl := h.l1d.LineAddr(target)
+		if present, _ := h.l1d.Lookup(tl); present {
+			continue
+		}
+		// Prefetches fill both levels; their latency depends on where the
+		// line currently lives.
+		var fillDone uint64
+		if present, availAt := h.l2.Lookup(tl); present {
+			fillDone = now + h.cfg.L1D.HitLat + h.cfg.L2.HitLat
+			if availAt > fillDone {
+				fillDone = availAt
+			}
+		} else {
+			fillDone = now + h.cfg.L1D.HitLat + h.cfg.L2.HitLat + h.cfg.MemLat
+			h.l2.Fill(tl, fillDone, false)
+		}
+		h.l1d.Fill(tl, fillDone+h.cfg.L1D.FillLat, false)
+		h.PrefetchFills++
+	}
+}
+
+// Contains reports whether addr's line is resident in the L1 or L2 — the
+// attack harness's side-channel probe.
+func (h *Hierarchy) Contains(addr uint64) bool {
+	line := h.l1d.LineAddr(addr)
+	return h.l1d.Contains(line) || h.l2.Contains(line)
+}
+
+// ContainsL1 reports L1 residency only (a finer probe).
+func (h *Hierarchy) ContainsL1(addr uint64) bool {
+	return h.l1d.Contains(h.l1d.LineAddr(addr))
+}
+
+// FlushAll empties both cache levels and the MSHRs.
+func (h *Hierarchy) FlushAll() {
+	h.l1d.InvalidateAll()
+	h.l2.InvalidateAll()
+	h.mshrs = nil
+	if h.pf != nil {
+		h.pf.Reset()
+	}
+}
+
+// FlushLine evicts addr's line from both levels (clflush).
+func (h *Hierarchy) FlushLine(addr uint64) {
+	line := h.l1d.LineAddr(addr)
+	h.l1d.InvalidateLine(line)
+	h.l2.InvalidateLine(line)
+}
+
+// OutstandingMisses returns the number of live MSHRs at cycle now.
+func (h *Hierarchy) OutstandingMisses(now uint64) int {
+	h.expire(now)
+	return len(h.mshrs)
+}

@@ -1,0 +1,39 @@
+// Package mem implements the simulator's memory system: a sparse
+// byte-addressed main memory holding architectural data values, and a
+// timing model consisting of set-associative write-back caches (L1D, L2)
+// with MSHRs and per-PC stride prefetchers, fronted by a Hierarchy that the
+// core's load-store unit talks to.
+//
+// Data values and timing are deliberately separated: Main always holds the
+// committed architectural image (plus speculative wrong-path reads see the
+// same committed state), while the caches track only tags and fill times.
+// This mirrors how trace-driven cache models work and keeps the timing
+// model independent of value forwarding, which the LSU handles.
+package mem
+
+// Main is the architectural data memory: an aligned 64-bit word store.
+// Reads of unwritten locations return zero.
+type Main struct {
+	words map[uint64]uint64
+}
+
+// NewMain returns an empty main memory.
+func NewMain() *Main {
+	return &Main{words: make(map[uint64]uint64)}
+}
+
+// LoadImage installs an address→word image, e.g. a Program's initial data.
+func (m *Main) LoadImage(img map[uint64]uint64) {
+	for a, w := range img {
+		m.words[a&^7] = w
+	}
+}
+
+// Read returns the word at the (aligned) address.
+func (m *Main) Read(addr uint64) uint64 { return m.words[addr&^7] }
+
+// Write stores a word at the (aligned) address.
+func (m *Main) Write(addr, val uint64) { m.words[addr&^7] = val }
+
+// Footprint returns the number of distinct words ever written.
+func (m *Main) Footprint() int { return len(m.words) }

@@ -1,0 +1,301 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMainReadWrite(t *testing.T) {
+	m := NewMain()
+	if m.Read(0x100) != 0 {
+		t.Error("unwritten memory must read zero")
+	}
+	m.Write(0x100, 42)
+	if m.Read(0x100) != 42 {
+		t.Error("read after write")
+	}
+	m.Write(0x103, 7) // unaligned: same word
+	if m.Read(0x100) != 7 {
+		t.Error("unaligned write must alias the aligned word")
+	}
+}
+
+func TestMainLoadImage(t *testing.T) {
+	m := NewMain()
+	m.LoadImage(map[uint64]uint64{0x10: 1, 0x18: 2})
+	if m.Read(0x10) != 1 || m.Read(0x18) != 2 {
+		t.Error("image not loaded")
+	}
+	if m.Footprint() != 2 {
+		t.Errorf("footprint = %d, want 2", m.Footprint())
+	}
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := CacheConfig{Name: "t", SizeKB: 32, Ways: 8, LineB: 64, HitLat: 4}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	bad := []CacheConfig{
+		{Name: "zero", SizeKB: 0, Ways: 1, LineB: 64},
+		{Name: "npo2line", SizeKB: 32, Ways: 8, LineB: 48},
+		{Name: "npo2sets", SizeKB: 24, Ways: 8, LineB: 64},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config %s accepted", c.Name)
+		}
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "L1", SizeKB: 1, Ways: 2, LineB: 64, HitLat: 4})
+	if _, hit := c.Access(0x1000, 10, false); hit {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(0x1000, 50, false)
+	avail, hit := c.Access(0x1000, 60, false)
+	if !hit {
+		t.Fatal("filled line must hit")
+	}
+	if avail != 64 {
+		t.Errorf("hit avail = %d, want 64 (now+HitLat)", avail)
+	}
+	// Hit-under-fill: access before the fill completes waits for the fill.
+	c.Fill(0x2000, 100, false)
+	avail, hit = c.Access(0x2000, 80, false)
+	if !hit || avail != 100 {
+		t.Errorf("hit-under-fill avail = %d (hit=%v), want 100", avail, hit)
+	}
+	// Same line within a set: 0x1040 is a different line.
+	if c.Contains(0x1040) {
+		t.Error("adjacent line must not be resident")
+	}
+	if !c.Contains(0x1000) || !c.Contains(0x103f) {
+		t.Error("all bytes of a resident line must probe as present")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 2 ways, 64B lines, 1KB => 8 sets. Addresses 64*8 apart share a set.
+	c := NewCache(CacheConfig{Name: "L1", SizeKB: 1, Ways: 2, LineB: 64, HitLat: 1})
+	setStride := uint64(64 * 8)
+	a, b, d := uint64(0), setStride, 2*setStride
+	c.Fill(a, 0, false)
+	c.Fill(b, 0, false)
+	c.Access(a, 10, false) // a is now MRU
+	c.Fill(d, 20, false)   // must evict b
+	if !c.Contains(a) {
+		t.Error("MRU line evicted")
+	}
+	if c.Contains(b) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(d) {
+		t.Error("filled line missing")
+	}
+	if c.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", c.Evictions)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := NewCache(CacheConfig{Name: "L1", SizeKB: 1, Ways: 2, LineB: 64, HitLat: 1})
+	c.Fill(0x40, 0, false)
+	c.Fill(0x80, 0, false)
+	c.InvalidateLine(0x40)
+	if c.Contains(0x40) || !c.Contains(0x80) {
+		t.Error("InvalidateLine wrong line")
+	}
+	c.InvalidateAll()
+	if c.Contains(0x80) {
+		t.Error("InvalidateAll left residue")
+	}
+}
+
+func TestStridePrefetcherDetectsStride(t *testing.T) {
+	p := NewStridePrefetcher(64, 2, 2)
+	pc := uint64(0x400)
+	var got []uint64
+	for i := uint64(0); i < 6; i++ {
+		got = p.Train(pc, 0x1000+i*64)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefetches = %v, want 2 addresses", got)
+	}
+	last := uint64(0x1000 + 5*64)
+	if got[0] != last+64 || got[1] != last+128 {
+		t.Errorf("prefetch targets %v, want next two lines", got)
+	}
+}
+
+func TestStridePrefetcherNoiseResistance(t *testing.T) {
+	p := NewStridePrefetcher(64, 2, 2)
+	pc := uint64(0x400)
+	addrs := []uint64{0x1000, 0x9000, 0x1040, 0x22000, 0x1080}
+	for _, a := range addrs {
+		if got := p.Train(pc, a); len(got) != 0 {
+			t.Errorf("prefetched %v on random pattern", got)
+		}
+	}
+}
+
+func TestStridePrefetcherZeroStride(t *testing.T) {
+	p := NewStridePrefetcher(64, 1, 2)
+	pc := uint64(0x10)
+	for i := 0; i < 5; i++ {
+		if got := p.Train(pc, 0x1000); len(got) != 0 {
+			t.Errorf("zero stride must not prefetch, got %v", got)
+		}
+	}
+}
+
+func TestHierarchyLoadPath(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0 // isolate the demand path
+	h := NewHierarchy(cfg)
+
+	// Cold load: L1 miss, L2 miss, DRAM.
+	done, hitL1, ok := h.Load(0, 0x1000, 100)
+	if !ok || hitL1 {
+		t.Fatalf("cold load: ok=%v hitL1=%v", ok, hitL1)
+	}
+	wantDRAM := uint64(100) + cfg.L1D.HitLat + cfg.L2.HitLat + cfg.MemLat + cfg.L1D.FillLat
+	if done != wantDRAM {
+		t.Errorf("DRAM load done = %d, want %d", done, wantDRAM)
+	}
+
+	// Re-access after the fill completes: L1 hit.
+	done2, hitL1, ok := h.Load(0, 0x1008, wantDRAM+10)
+	if !ok || !hitL1 {
+		t.Fatalf("warm load should hit L1")
+	}
+	if done2 != wantDRAM+10+cfg.L1D.HitLat {
+		t.Errorf("L1 hit done = %d", done2)
+	}
+}
+
+func TestHierarchyL2Hit(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0
+	h := NewHierarchy(cfg)
+	h.Load(0, 0x1000, 0) // brings into L1+L2
+	h.L1D().InvalidateAll()
+	done, hitL1, ok := h.Load(0, 0x1000, 1000)
+	if !ok || hitL1 {
+		t.Fatalf("expected L1 miss after invalidate")
+	}
+	want := uint64(1000) + cfg.L1D.HitLat + cfg.L2.HitLat + cfg.L1D.FillLat
+	if done != want {
+		t.Errorf("L2 hit done = %d, want %d", done, want)
+	}
+}
+
+func TestHierarchyMSHRLimit(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0
+	cfg.MSHRs = 2
+	h := NewHierarchy(cfg)
+	if _, _, ok := h.Load(0, 0x10000, 0); !ok {
+		t.Fatal("first miss rejected")
+	}
+	if _, _, ok := h.Load(0, 0x20000, 0); !ok {
+		t.Fatal("second miss rejected")
+	}
+	if _, _, ok := h.Load(0, 0x30000, 0); ok {
+		t.Fatal("third concurrent miss must be rejected (MSHRs full)")
+	}
+	if h.MSHRRejects != 1 {
+		t.Errorf("rejects = %d, want 1", h.MSHRRejects)
+	}
+	// Miss to an already-outstanding line merges instead of rejecting.
+	if _, _, ok := h.Load(0, 0x10008, 0); !ok {
+		t.Fatal("merged miss must be accepted")
+	}
+	// After the misses complete, capacity frees up.
+	if _, _, ok := h.Load(0, 0x30000, 10_000); !ok {
+		t.Fatal("miss after drain rejected")
+	}
+}
+
+func TestHierarchyPrefetchHidesLatency(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	pc := uint64(0x44)
+	now := uint64(0)
+	var lastDone uint64
+	// Stream through 32 consecutive lines; by the tail of the stream the
+	// prefetcher should be covering misses.
+	var coldLat, tailLat uint64
+	for i := uint64(0); i < 32; i++ {
+		done, _, ok := h.Load(pc, 0x100000+i*64, now)
+		if !ok {
+			// MSHR pressure: skip forward.
+			now += 10
+			done, _, _ = h.Load(pc, 0x100000+i*64, now)
+		}
+		if i == 0 {
+			coldLat = done - now
+		}
+		if i == 31 {
+			tailLat = done - now
+		}
+		lastDone = done
+		now = done + 1
+	}
+	_ = lastDone
+	if h.PrefetchFills == 0 {
+		t.Fatal("prefetcher issued nothing on a streaming pattern")
+	}
+	if tailLat >= coldLat {
+		t.Errorf("prefetching did not reduce latency: cold %d, tail %d", coldLat, tailLat)
+	}
+}
+
+func TestHierarchyStoreAllocates(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0
+	h := NewHierarchy(cfg)
+	h.Store(0x5000, 0)
+	if !h.Contains(0x5000) {
+		t.Error("store must allocate the line")
+	}
+	done, hitL1, ok := h.Load(0, 0x5000, 1000)
+	if !ok || !hitL1 {
+		t.Errorf("load after store: done=%d hit=%v", done, hitL1)
+	}
+}
+
+func TestHierarchyFlush(t *testing.T) {
+	h := NewHierarchy(DefaultHierarchyConfig())
+	h.Load(0, 0x9000, 0)
+	h.FlushLine(0x9000)
+	if h.Contains(0x9000) {
+		t.Error("FlushLine left the line resident")
+	}
+	h.Load(0, 0xA000, 0)
+	h.FlushAll()
+	if h.Contains(0xA000) {
+		t.Error("FlushAll left residue")
+	}
+}
+
+// Property: a load is always available no earlier than now+L1 hit latency,
+// and hits never take longer than the full DRAM path.
+func TestHierarchyLatencyBounds(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	h := NewHierarchy(cfg)
+	maxLat := cfg.L1D.HitLat + cfg.L2.HitLat + cfg.MemLat + cfg.L1D.FillLat
+	f := func(addrSeed uint16, pcSeed uint8) bool {
+		addr := 0x1000 + uint64(addrSeed)*8
+		now := uint64(50_000) // past any pending fills from earlier iterations
+		done, _, ok := h.Load(uint64(pcSeed), addr, now)
+		if !ok {
+			return true // MSHR-full is a legal outcome
+		}
+		return done >= now+cfg.L1D.HitLat && done <= now+maxLat
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,131 @@
+// Package trace derives TraceDoctor-style key performance indicators from
+// the core's raw counters (the paper, Section 7, extracts committed
+// instructions, latencies, stalls and their causes with TraceDoctor; this
+// package plays that role for the simulator) and renders per-run reports
+// and baseline-vs-scheme comparisons such as the Section 9.2 exchange2
+// forwarding-error analysis.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Report is a digested view of one run's counters.
+type Report struct {
+	Scheme core.SchemeKind
+	IPC    float64
+
+	// Per-kilo-instruction rates.
+	MispredictsPKI  float64
+	FwdErrorsPKI    float64 // memory-ordering violations
+	FlushesPKI      float64
+	SquashedPKI     float64
+	DelayedBcastPKI float64
+	TaintBlocksPKI  float64 // STT-Rename masked selections
+	NopSlotsPKI     float64 // STT-Issue wasted slots
+
+	// Stall shares (fraction of rename-stall events by cause).
+	StallShare map[string]float64
+
+	Raw core.Stats
+}
+
+func pki(n, insts uint64) float64 {
+	if insts == 0 {
+		return 0
+	}
+	return 1000 * float64(n) / float64(insts)
+}
+
+// New digests raw counters into a Report.
+func New(kind core.SchemeKind, s core.Stats) Report {
+	r := Report{
+		Scheme:          kind,
+		IPC:             s.IPC(),
+		MispredictsPKI:  pki(s.Mispredicts, s.Committed),
+		FwdErrorsPKI:    pki(s.MemOrderViolations, s.Committed),
+		FlushesPKI:      pki(s.MemOrderFlushes, s.Committed),
+		SquashedPKI:     pki(s.SquashedUops, s.Committed),
+		DelayedBcastPKI: pki(s.DelayedBroadcasts, s.Committed),
+		TaintBlocksPKI:  pki(s.TaintBlockedSelects, s.Committed),
+		NopSlotsPKI:     pki(s.TaintNopSlots, s.Committed),
+		Raw:             s,
+	}
+	stalls := map[string]uint64{
+		"rob":        s.RenameStallROB,
+		"issueq":     s.RenameStallIQ,
+		"loadq":      s.RenameStallLQ,
+		"storeq":     s.RenameStallSQ,
+		"physregs":   s.RenameStallPhys,
+		"checkpoint": s.RenameStallCkpt,
+		"frontend":   s.RenameStallEmpty,
+	}
+	var total uint64
+	for _, v := range stalls {
+		total += v
+	}
+	r.StallShare = make(map[string]float64, len(stalls))
+	for k, v := range stalls {
+		if total > 0 {
+			r.StallShare[k] = float64(v) / float64(total)
+		} else {
+			r.StallShare[k] = 0
+		}
+	}
+	return r
+}
+
+// stallOrder fixes the rendering order for determinism.
+var stallOrder = []string{"rob", "issueq", "loadq", "storeq", "physregs", "checkpoint", "frontend"}
+
+// String renders the report.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme %-11s IPC %.4f\n", r.Scheme, r.IPC)
+	fmt.Fprintf(&b, "  mispredicts/ki %8.2f   fwd errors/ki %8.3f   flushes/ki %8.3f\n",
+		r.MispredictsPKI, r.FwdErrorsPKI, r.FlushesPKI)
+	fmt.Fprintf(&b, "  squashed/ki    %8.2f   delayed-bcast/ki %5.2f\n", r.SquashedPKI, r.DelayedBcastPKI)
+	fmt.Fprintf(&b, "  taint-blocks/ki %7.2f   nop-slots/ki  %8.2f\n", r.TaintBlocksPKI, r.NopSlotsPKI)
+	fmt.Fprintf(&b, "  rename stalls:")
+	for _, k := range stallOrder {
+		fmt.Fprintf(&b, " %s %.0f%%", k, 100*r.StallShare[k])
+	}
+	fmt.Fprintf(&b, "\n")
+	return b.String()
+}
+
+// Comparison relates a scheme run to its baseline — the tool behind the
+// paper's exchange2 observation that STT-Rename suffered ~1350× the
+// store-to-load forwarding errors of NDA (Section 9.2).
+type Comparison struct {
+	Base, Scheme Report
+
+	IPCRatio       float64
+	FwdErrorFactor float64 // scheme forwarding errors / baseline's
+}
+
+// Compare builds a Comparison.
+func Compare(base, scheme Report) Comparison {
+	c := Comparison{Base: base, Scheme: scheme}
+	if base.IPC > 0 {
+		c.IPCRatio = scheme.IPC / base.IPC
+	}
+	switch {
+	case base.FwdErrorsPKI > 0:
+		c.FwdErrorFactor = scheme.FwdErrorsPKI / base.FwdErrorsPKI
+	case scheme.FwdErrorsPKI > 0:
+		c.FwdErrorFactor = float64(scheme.Raw.MemOrderViolations)
+	default:
+		c.FwdErrorFactor = 1
+	}
+	return c
+}
+
+// String renders the comparison.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s vs baseline: IPC ratio %.3f, forwarding-error factor %.1fx, taint-blocks/ki %.1f, delayed-bcast/ki %.1f",
+		c.Scheme.Scheme, c.IPCRatio, c.FwdErrorFactor, c.Scheme.TaintBlocksPKI, c.Scheme.DelayedBcastPKI)
+}

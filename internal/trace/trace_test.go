@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func sampleStats() core.Stats {
+	return core.Stats{
+		Cycles:              10_000,
+		Committed:           20_000,
+		Mispredicts:         40,
+		MemOrderViolations:  10,
+		MemOrderFlushes:     8,
+		SquashedUops:        900,
+		DelayedBroadcasts:   300,
+		TaintBlockedSelects: 5_000,
+		TaintNopSlots:       120,
+		RenameStallROB:      600,
+		RenameStallIQ:       400,
+	}
+}
+
+func TestReportRates(t *testing.T) {
+	r := New(core.KindSTTIssue, sampleStats())
+	if r.IPC != 2.0 {
+		t.Errorf("IPC = %v", r.IPC)
+	}
+	if r.MispredictsPKI != 2.0 {
+		t.Errorf("mispredicts/ki = %v, want 2", r.MispredictsPKI)
+	}
+	if r.FwdErrorsPKI != 0.5 {
+		t.Errorf("fwd errors/ki = %v, want 0.5", r.FwdErrorsPKI)
+	}
+	if r.NopSlotsPKI != 6.0 {
+		t.Errorf("nop slots/ki = %v, want 6", r.NopSlotsPKI)
+	}
+}
+
+func TestStallSharesSumToOne(t *testing.T) {
+	r := New(core.KindBaseline, sampleStats())
+	sum := 0.0
+	for _, v := range r.StallShare {
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Errorf("stall shares sum to %v", sum)
+	}
+	if r.StallShare["rob"] != 0.6 {
+		t.Errorf("rob share = %v, want 0.6", r.StallShare["rob"])
+	}
+}
+
+func TestZeroStats(t *testing.T) {
+	r := New(core.KindNDA, core.Stats{})
+	if r.IPC != 0 || r.MispredictsPKI != 0 {
+		t.Error("zero stats must produce zero rates")
+	}
+	if !strings.Contains(r.String(), "nda") {
+		t.Error("report must name the scheme")
+	}
+}
+
+func TestCompareForwardingFactor(t *testing.T) {
+	base := New(core.KindBaseline, core.Stats{Cycles: 1000, Committed: 1000, MemOrderViolations: 2})
+	stt := New(core.KindSTTRename, core.Stats{Cycles: 2000, Committed: 1000, MemOrderViolations: 500})
+	c := Compare(base, stt)
+	if c.FwdErrorFactor != 250 {
+		t.Errorf("forwarding factor = %v, want 250", c.FwdErrorFactor)
+	}
+	if c.IPCRatio != 0.5 {
+		t.Errorf("IPC ratio = %v, want 0.5", c.IPCRatio)
+	}
+	if !strings.Contains(c.String(), "250.0x") {
+		t.Errorf("comparison string: %s", c)
+	}
+}
+
+func TestCompareZeroBaselineErrors(t *testing.T) {
+	base := New(core.KindBaseline, core.Stats{Cycles: 1000, Committed: 1000})
+	stt := New(core.KindSTTRename, core.Stats{Cycles: 1000, Committed: 1000, MemOrderViolations: 7})
+	if f := Compare(base, stt).FwdErrorFactor; f != 7 {
+		t.Errorf("zero-baseline factor = %v, want raw count 7", f)
+	}
+	none := New(core.KindNDA, core.Stats{Cycles: 1000, Committed: 1000})
+	if f := Compare(base, none).FwdErrorFactor; f != 1 {
+		t.Errorf("no-errors factor = %v, want 1", f)
+	}
+}
+
+func TestReportStringDeterministic(t *testing.T) {
+	a := New(core.KindSTTRename, sampleStats()).String()
+	b := New(core.KindSTTRename, sampleStats()).String()
+	if a != b {
+		t.Error("report rendering not deterministic")
+	}
+}

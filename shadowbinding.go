@@ -1,0 +1,206 @@
+// Package shadowbinding is the public facade of the ShadowBinding
+// reproduction: a cycle-level out-of-order CPU model with the paper's
+// three in-core secure speculation microarchitectures (STT-Rename,
+// STT-Issue, NDA-Permissive), a SPEC CPU2017 proxy suite, an analytical
+// synthesis model for timing/area/power, a Spectre v1 security check, and
+// an evaluation driver that regenerates every table and figure of the
+// paper (Kvalsvik & Själander, MICRO 2025).
+//
+// Quick start:
+//
+//	eval, err := shadowbinding.NewEvaluation(shadowbinding.DefaultOptions())
+//	fmt.Println(eval.Figure6())
+//
+// or run a single benchmark:
+//
+//	cfg := shadowbinding.MegaConfig()
+//	run, err := shadowbinding.RunBenchmark(cfg, shadowbinding.STTIssue, "538.imagick", shadowbinding.DefaultOptions())
+package shadowbinding
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/attack"
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+// Re-exported core types.
+type (
+	// Config parameterizes a core (Table 1 configurations via the
+	// constructors below).
+	Config = core.Config
+	// Scheme identifies a secure speculation scheme.
+	Scheme = core.SchemeKind
+	// Options bounds evaluation runs.
+	Options = harness.Options
+	// Run is one (benchmark, configuration, scheme) measurement.
+	Run = harness.Run
+	// Matrix is a full (configuration × scheme × benchmark) sweep.
+	Matrix = harness.Matrix
+	// Benchmark is a SPEC CPU2017 proxy profile.
+	Benchmark = workloads.Profile
+	// AttackResult is a Spectre v1 verdict.
+	AttackResult = attack.Result
+	// TraceReport is a digested per-run KPI view.
+	TraceReport = trace.Report
+)
+
+// The four schemes (Section 7).
+const (
+	Baseline  = core.KindBaseline
+	STTRename = core.KindSTTRename
+	STTIssue  = core.KindSTTIssue
+	NDA       = core.KindNDA
+)
+
+// Table 1 configurations.
+var (
+	SmallConfig  = core.SmallConfig
+	MediumConfig = core.MediumConfig
+	LargeConfig  = core.LargeConfig
+	MegaConfig   = core.MegaConfig
+	Configs      = core.Configs
+	ConfigByName = core.ConfigByName
+	Schemes      = core.SchemeKinds
+)
+
+// DefaultOptions returns evaluation run bounds (warmup + fixed measurement
+// window per run).
+func DefaultOptions() Options { return harness.DefaultOptions() }
+
+// Benchmarks returns the 22-benchmark SPEC CPU2017 proxy suite.
+func Benchmarks() []Benchmark { return workloads.Suite() }
+
+// BenchmarkByName returns one proxy profile.
+func BenchmarkByName(name string) (Benchmark, error) { return workloads.ByName(name) }
+
+// RunBenchmark measures one (configuration, scheme, benchmark) cell.
+func RunBenchmark(cfg Config, kind Scheme, bench string, opts Options) (Run, error) {
+	p, err := workloads.ByName(bench)
+	if err != nil {
+		return Run{}, err
+	}
+	return harness.RunOne(cfg, kind, p, opts)
+}
+
+// TraceOf digests a run's counters into TraceDoctor-style KPIs.
+func TraceOf(r Run) TraceReport { return trace.New(r.Scheme, r.Stats) }
+
+// SpectreV1 runs the Spectre v1 proof of concept under one scheme.
+func SpectreV1(cfg Config, kind Scheme) (AttackResult, error) {
+	return attack.RunSpectreV1(cfg, kind)
+}
+
+// SpectreV1All runs the attack under every scheme.
+func SpectreV1All(cfg Config) ([]AttackResult, error) { return attack.RunAll(cfg) }
+
+// SpectreSSB runs the Speculative Store Bypass (Spectre v4) attack under
+// one scheme — the D-shadow counterpart of SpectreV1.
+func SpectreSSB(cfg Config, kind Scheme) (AttackResult, error) {
+	return attack.RunSpectreSSB(cfg, kind)
+}
+
+// Evaluation holds the measured matrices behind the paper's tables and
+// figures: the four BOOM configurations over the full suite, plus the
+// gem5-style configurations over the 19-benchmark comparable suite.
+type Evaluation struct {
+	Boom *harness.Matrix
+	Gem5 *harness.Matrix
+}
+
+// NewEvaluation runs the full sweep (4 configs × 4 schemes × 22 benchmarks
+// plus 2 gem5 configs × 4 schemes × 19 benchmarks). With DefaultOptions
+// this takes on the order of a minute.
+func NewEvaluation(opts Options) (*Evaluation, error) {
+	boom, err := harness.RunMatrix(core.Configs(), core.SchemeKinds(), workloads.Suite(), opts)
+	if err != nil {
+		return nil, err
+	}
+	gem5, err := harness.RunMatrix(
+		[]core.Config{core.Gem5STTConfig(), core.Gem5NDAConfig()},
+		core.SchemeKinds(), workloads.Gem5Comparable(), opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Evaluation{Boom: boom, Gem5: gem5}, nil
+}
+
+// Table/figure emitters; each returns the experiment rendered as text.
+
+func (e *Evaluation) Table1() string   { return harness.Table1(e.Boom) }
+func (e *Evaluation) Figure6() string  { return harness.Figure6(e.Boom) }
+func (e *Evaluation) Figure7() string  { return harness.Figure7(e.Boom) }
+func (e *Evaluation) Figure8() string  { return harness.Figure8(e.Boom) }
+func (e *Evaluation) Figure9() string  { return harness.Figure9(e.Boom.Configs) }
+func (e *Evaluation) Figure10() string { return harness.Figure10(e.Boom) }
+func (e *Evaluation) Table3() string   { return harness.Table3(e.Boom) }
+func (e *Evaluation) Table4() string   { return harness.Table4() }
+func (e *Evaluation) Table5() string   { return harness.Table5(e.Boom, e.Gem5) }
+
+// SecurityReport runs the Spectre v1 matrix on the Mega configuration and
+// renders the verdict table (the paper's Section 7 check).
+func SecurityReport() (string, error) {
+	results, err := attack.RunAll(core.MegaConfig())
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Spectre v1 (bounds-check bypass) on the Mega configuration:\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-14s %s\n", "scheme", "leaked", "recovered", "hot probe slots")
+	for _, r := range results {
+		rec := "-"
+		if r.GuessedSecret >= 0 {
+			rec = fmt.Sprintf("%d (planted %d)", r.GuessedSecret, attack.SecretValue&63)
+		}
+		fmt.Fprintf(&b, "%-12s %-8v %-14s %v\n", r.Scheme, r.Leaked, rec, r.HotSlots)
+	}
+	fmt.Fprintf(&b, "\nSpeculative Store Bypass (Spectre v4) on the Mega configuration:\n")
+	fmt.Fprintf(&b, "%-12s %-8s %-14s %s\n", "scheme", "leaked", "recovered", "hot probe slots")
+	for _, kind := range core.SchemeKinds() {
+		r, err := attack.RunSpectreSSB(core.MegaConfig(), kind)
+		if err != nil {
+			return "", err
+		}
+		rec := "-"
+		if r.GuessedSecret >= 0 {
+			rec = fmt.Sprintf("%d (planted %d)", r.GuessedSecret, attack.SSBSecret&63)
+		}
+		fmt.Fprintf(&b, "%-12s %-8v %-14s %v\n", r.Scheme, r.Leaked, rec, r.HotSlots)
+	}
+	return b.String(), nil
+}
+
+// ExperimentIDs lists the ids accepted by (*Evaluation).Experiment.
+func ExperimentIDs() []string {
+	return []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "table5"}
+}
+
+// Experiment renders one experiment by id ("fig1" is an alias for the
+// Table 3 performance data it plots).
+func (e *Evaluation) Experiment(id string) (string, error) {
+	switch id {
+	case "table1":
+		return e.Table1(), nil
+	case "fig6":
+		return e.Figure6(), nil
+	case "fig7":
+		return e.Figure7(), nil
+	case "fig8":
+		return e.Figure8(), nil
+	case "fig9":
+		return e.Figure9(), nil
+	case "fig10":
+		return e.Figure10(), nil
+	case "fig1", "table3":
+		return e.Table3(), nil
+	case "table4":
+		return e.Table4(), nil
+	case "table5":
+		return e.Table5(), nil
+	}
+	return "", fmt.Errorf("shadowbinding: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
+}

@@ -1,0 +1,77 @@
+package shadowbinding
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunBenchmarkFacade(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WarmupCycles = 2_000
+	opts.MeasureCycles = 8_000
+	r, err := RunBenchmark(MegaConfig(), STTIssue, "503.bwaves", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.IPC <= 0 {
+		t.Errorf("IPC = %v", r.IPC)
+	}
+	rep := TraceOf(r)
+	if rep.Scheme != STTIssue {
+		t.Errorf("trace scheme = %v", rep.Scheme)
+	}
+	if _, err := RunBenchmark(MegaConfig(), NDA, "999.none", opts); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestBenchmarksFacade(t *testing.T) {
+	if got := len(Benchmarks()); got != 22 {
+		t.Errorf("suite size = %d, want 22", got)
+	}
+	if _, err := BenchmarkByName("505.mcf"); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpectreFacade(t *testing.T) {
+	r, err := SpectreV1(MegaConfig(), Baseline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Leaked {
+		t.Error("baseline must leak")
+	}
+	report, err := SecurityReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range []string{"baseline", "stt-rename", "stt-issue", "nda"} {
+		if !strings.Contains(report, scheme) {
+			t.Errorf("security report missing %s:\n%s", scheme, report)
+		}
+	}
+}
+
+func TestExperimentIDs(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WarmupCycles = 1_000
+	opts.MeasureCycles = 3_000
+	// A tiny evaluation is enough to exercise the dispatch table.
+	e, err := NewEvaluation(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ExperimentIDs() {
+		out, err := e.Experiment(id)
+		if err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		if len(out) < 50 {
+			t.Errorf("%s: short output", id)
+		}
+	}
+	if _, err := e.Experiment("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
