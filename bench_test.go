@@ -34,6 +34,9 @@ func benchOptions() Options {
 
 func sharedEval(b *testing.B) *Evaluation {
 	b.Helper()
+	if testing.Short() {
+		b.Skip("full matrix sweep skipped with -short")
+	}
 	evalOnce.Do(func() { evalPtr, evalErr = NewEvaluation(benchOptions()) })
 	if evalErr != nil {
 		b.Fatal(evalErr)
@@ -133,6 +136,9 @@ func BenchmarkTable5_Gem5(b *testing.B) {
 // BenchmarkSecurity_SpectreV1 runs the Section 7 security check: the
 // Spectre v1 gadget under all four schemes.
 func BenchmarkSecurity_SpectreV1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("attack matrix skipped with -short")
+	}
 	var report string
 	for i := 0; i < b.N; i++ {
 		var err error
@@ -170,6 +176,9 @@ func BenchmarkAblation_RenameChain(b *testing.B) {
 // optimization on the exchange2 proxy: STT-Rename with unified versus
 // split store address/data taints.
 func BenchmarkAblation_SplitStoreTaints(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ablation sweep skipped with -short")
+	}
 	prof, err := workloads.ByName("548.exchange2")
 	if err != nil {
 		b.Fatal(err)
@@ -200,6 +209,9 @@ func BenchmarkAblation_SplitStoreTaints(b *testing.B) {
 // cannot help NDA (dependents still wait for the delayed broadcast), which
 // is why removing it is a free timing win.
 func BenchmarkAblation_NDASpecWakeup(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ablation sweep skipped with -short")
+	}
 	prof, err := workloads.ByName("538.imagick")
 	if err != nil {
 		b.Fatal(err)
@@ -228,6 +240,9 @@ func BenchmarkAblation_NDASpecWakeup(b *testing.B) {
 // broadcast bandwidth (= memory ports, Section 5.1) on the Mega core under
 // NDA, showing the delayed-broadcast drain bottleneck.
 func BenchmarkAblation_BroadcastBandwidth(b *testing.B) {
+	if testing.Short() {
+		b.Skip("ablation sweep skipped with -short")
+	}
 	prof, err := workloads.ByName("507.cactuBSSN")
 	if err != nil {
 		b.Fatal(err)

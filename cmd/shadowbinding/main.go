@@ -1,18 +1,22 @@
 // Command shadowbinding reproduces the paper's evaluation: it runs the
-// full (configuration × scheme × benchmark) sweep and prints any table or
-// figure from the evaluation section, plus the Spectre v1 security check.
+// full (configuration × scheme × benchmark) sweep on the parallel
+// evaluation engine and prints any table or figure from the evaluation
+// section, plus the Spectre v1 security check.
 //
 // Usage:
 //
 //	shadowbinding -experiment all
 //	shadowbinding -experiment fig6 -measure 100000
+//	shadowbinding -experiment fig7 -schemes stt-issue,nda -j 4
 //	shadowbinding -experiment security
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	sb "repro"
@@ -24,6 +28,9 @@ func main() {
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles per run")
 	measure := flag.Uint64("measure", 32_000, "measured cycles per run")
 	scale := flag.Int("scale", 1, "workload iteration multiplier")
+	parallel := flag.Int("j", 0, "worker pool size for the sweep (0 = all CPUs)")
+	schemesCSV := flag.String("schemes", "",
+		"comma-separated scheme filter (default all: "+strings.Join(sb.SchemeNames(), ",")+"); baseline is always included")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	flag.Parse()
 
@@ -36,17 +43,27 @@ func main() {
 		return
 	}
 
+	schemes, err := sb.ParseSchemes(*schemesCSV)
+	if err != nil {
+		fatal(err)
+	}
+
 	opts := sb.DefaultOptions()
 	opts.WarmupCycles = *warmup
 	opts.MeasureCycles = *measure
 	opts.Scale = *scale
+	opts.Parallelism = *parallel
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 
-	eval, err := sb.NewEvaluation(opts)
+	// Ctrl-C cancels the sweep instead of killing it mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	eval, err := sb.NewEvaluationContext(ctx, schemes, opts)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,26 +1,30 @@
-// Command specrun runs a single (benchmark, configuration, scheme) cell
-// and dumps its full counter set and TraceDoctor-style analysis, including
-// the baseline comparison used for the paper's Section 9.2 discussion.
+// Command specrun runs a single benchmark cell and dumps its full counter
+// set and TraceDoctor-style analysis, including the baseline comparison
+// used for the paper's Section 9.2 discussion. With -schemes it sweeps the
+// benchmark under several schemes at once on the parallel engine.
 //
 // Usage:
 //
 //	specrun -bench 548.exchange2 -config mega -scheme stt-rename
+//	specrun -bench 505.mcf -schemes stt-rename,stt-issue,nda -j 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	sb "repro"
-	"repro/internal/core"
 	"repro/internal/trace"
 )
 
 func main() {
 	bench := flag.String("bench", "548.exchange2", "benchmark name (see -list)")
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega, gem5-stt, gem5-nda")
-	scheme := flag.String("scheme", "stt-rename", "scheme: baseline, stt-rename, stt-issue, nda")
+	scheme := flag.String("scheme", "stt-rename", "single scheme: baseline, stt-rename, stt-issue, nda")
+	schemesCSV := flag.String("schemes", "", "comma-separated scheme sweep (overrides -scheme; baseline always included)")
+	parallel := flag.Int("j", 0, "worker pool size for a -schemes sweep (0 = all CPUs)")
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles")
 	measure := flag.Uint64("measure", 32_000, "measured cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
@@ -37,14 +41,20 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	kind, ok := core.SchemeKindByName(*scheme)
-	if !ok {
-		fatal(fmt.Errorf("unknown scheme %q", *scheme))
-	}
 	opts := sb.DefaultOptions()
 	opts.WarmupCycles = *warmup
 	opts.MeasureCycles = *measure
+	opts.Parallelism = *parallel
 
+	if *schemesCSV != "" {
+		sweep(cfg, *bench, *schemesCSV, opts)
+		return
+	}
+
+	kind, err := sb.SchemeByName(*scheme)
+	if err != nil {
+		fatal(err)
+	}
 	run, err := sb.RunBenchmark(cfg, kind, *bench, opts)
 	if err != nil {
 		fatal(err)
@@ -61,6 +71,44 @@ func main() {
 		}
 		cmp := trace.Compare(sb.TraceOf(base), sb.TraceOf(run))
 		fmt.Println(cmp)
+	}
+}
+
+// sweep runs one benchmark under several schemes concurrently and prints
+// a comparison table plus the per-scheme trace deltas against baseline.
+func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options) {
+	schemes, err := sb.ParseSchemes(schemesCSV)
+	if err != nil {
+		fatal(err)
+	}
+	schemes = sb.WithBaseline(schemes)
+	prof, err := sb.BenchmarkByName(bench)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := sb.RunMatrix(context.Background(),
+		[]sb.Config{cfg}, schemes, []sb.Benchmark{prof}, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s on %s, %d schemes\n\n", bench, cfg.Name, len(schemes))
+	fmt.Printf("%-12s %8s %10s\n", "scheme", "IPC", "vs base")
+	for _, k := range schemes {
+		fmt.Printf("%-12s %8.4f %9.1f%%\n", k,
+			m.MeanIPC(cfg.Name, k), 100*m.BenchNormIPC(cfg.Name, k, bench))
+	}
+	fmt.Println()
+	baseCell, _ := m.Cell(cfg.Name, sb.Baseline)
+	for _, k := range schemes {
+		if k == sb.Baseline {
+			continue
+		}
+		cell, ok := m.Cell(cfg.Name, k)
+		if !ok || len(cell.Runs) == 0 || len(baseCell.Runs) == 0 {
+			continue
+		}
+		fmt.Println(trace.Compare(sb.TraceOf(baseCell.Runs[0]), sb.TraceOf(cell.Runs[0])))
 	}
 }
 

@@ -1,17 +1,20 @@
-// Command spectre runs the Spectre v1 proof of concept (the paper's
-// Section 7 security verification) under every secure speculation scheme
-// and prints the verdicts.
+// Command spectre runs the Spectre v1 and Speculative Store Bypass proofs
+// of concept (the paper's Section 7 security verification) under every
+// registered scheme — or a -schemes subset — and prints the verdicts. The
+// per-scheme attacks are independent and run on a bounded worker pool.
 //
 // Usage:
 //
-//	spectre            # Mega configuration
-//	spectre -config small
+//	spectre                      # Mega configuration, all schemes
+//	spectre -config small -schemes baseline,nda -j 2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 
 	sb "repro"
 	"repro/internal/attack"
@@ -19,30 +22,65 @@ import (
 
 func main() {
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega")
+	schemesCSV := flag.String("schemes", "", "comma-separated scheme filter (default: all registered schemes)")
+	parallel := flag.Int("j", 0, "worker pool size for the attack matrix (0 = all CPUs)")
 	flag.Parse()
 
 	cfg, err := sb.ConfigByName(*config)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "spectre:", err)
-		os.Exit(1)
+		fatal(err)
 	}
-	results, err := sb.SpectreV1All(cfg)
+	schemes, err := sb.ParseSchemes(*schemesCSV)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "spectre:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	// Two attacks per scheme: Spectre v1 first, then SSB, each block in
+	// registry order. Slots are fixed up front so the concurrent attacks
+	// can never reorder the report.
+	jobs := make([]func() (sb.AttackResult, error), 0, 2*len(schemes))
+	for _, kind := range schemes {
+		jobs = append(jobs, func() (sb.AttackResult, error) { return sb.SpectreV1(cfg, kind) })
+	}
+	for _, kind := range schemes {
+		jobs = append(jobs, func() (sb.AttackResult, error) { return sb.SpectreSSB(cfg, kind) })
+	}
+
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]sb.AttackResult, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = jobs[i]()
+			}
+		}()
+	}
+	for i := range jobs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Printf("Spectre v1 bounds-check bypass on the %s configuration\n", cfg.Name)
 	fmt.Printf("planted secret: %d (probe slot %d)\n\n", attack.SecretValue, attack.SecretValue&63)
+	fmt.Printf("(first %d rows: Spectre v1; last %d: Speculative Store Bypass)\n", len(schemes), len(schemes))
 	exit := 0
-	for _, kind := range sb.Schemes() {
-		r, err := sb.SpectreSSB(cfg, kind)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "spectre:", err)
-			os.Exit(1)
-		}
-		results = append(results, r)
-	}
-	fmt.Println("(first four rows: Spectre v1; last four: Speculative Store Bypass)")
 	for _, r := range results {
 		verdict := "BLOCKED"
 		if r.Leaked {
@@ -58,4 +96,9 @@ func main() {
 		fmt.Println()
 	}
 	os.Exit(exit)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spectre:", err)
+	os.Exit(1)
 }

@@ -26,7 +26,7 @@ func main() {
 	baseRep := sb.TraceOf(base)
 	fmt.Println(baseRep)
 
-	for _, scheme := range []sb.Scheme{sb.STTRename, sb.STTIssue, sb.NDA} {
+	for _, scheme := range sb.SecureSchemes() {
 		run, err := sb.RunBenchmark(cfg, scheme, bench, opts)
 		if err != nil {
 			log.Fatal(err)

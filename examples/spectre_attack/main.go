@@ -14,9 +14,16 @@ import (
 func main() {
 	cfg := sb.MegaConfig()
 	fmt.Println("Spectre v1: if (x < array1_size) y = array2[(array1[x]&63)*512]")
-	fmt.Printf("planted secret value: %d -> probe slot %d\n\n", attack.SecretValue, attack.SecretValue&63)
+	fmt.Printf("planted secret value: %d -> probe slot %d\n", attack.SecretValue, attack.SecretValue&63)
+	// Scheme names come from the registry — the same strings the CLIs'
+	// -schemes flag accepts, and the lookup a drop-in scheme joins.
+	fmt.Printf("registered schemes: %v\n\n", sb.SchemeNames())
 
-	for _, scheme := range sb.Schemes() {
+	for _, name := range sb.SchemeNames() {
+		scheme, err := sb.SchemeByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
 		r, err := sb.SpectreV1(cfg, scheme)
 		if err != nil {
 			log.Fatal(err)

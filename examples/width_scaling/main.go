@@ -6,47 +6,49 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"runtime"
+	"time"
 
 	sb "repro"
-	"repro/internal/harness"
 	"repro/internal/synth"
-	"repro/internal/workloads"
 )
 
 func main() {
 	opts := sb.DefaultOptions()
-	opts.Progress = func(format string, args ...any) {
-		fmt.Printf("  ("+format+")\n", args...)
-	}
+	opts.Parallelism = runtime.NumCPU()
 	// A representative subset keeps this example fast; use
 	// cmd/shadowbinding for the full 22-benchmark sweep.
-	var suite []workloads.Profile
+	var suite []sb.Benchmark
 	for _, name := range []string{"503.bwaves", "531.deepsjeng", "538.imagick", "505.mcf", "525.x264", "557.xz"} {
-		p, err := workloads.ByName(name)
+		p, err := sb.BenchmarkByName(name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		suite = append(suite, p)
 	}
 
-	fmt.Println("sweeping 4 configurations x 4 schemes x 6 benchmarks ...")
-	m, err := harness.RunMatrix(sb.Configs(), sb.Schemes(), suite, opts)
+	fmt.Printf("sweeping 4 configurations x %d schemes x 6 benchmarks on %d workers ...\n",
+		len(sb.Schemes()), opts.Parallelism)
+	start := time.Now()
+	m, err := sb.RunMatrix(context.Background(), sb.Configs(), sb.Schemes(), suite, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("swept %d cells in %v\n", 4*len(sb.Schemes())*len(suite), time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("\n%-8s %9s | %-29s | %-29s\n", "", "baseline", "relative IPC", "performance (IPC x timing)")
 	fmt.Printf("%-8s %9s | %9s %9s %9s | %9s %9s %9s\n",
 		"config", "IPC", "stt-ren", "stt-iss", "nda", "stt-ren", "stt-iss", "nda")
 	for _, cfg := range m.Configs {
 		fmt.Printf("%-8s %9.3f |", cfg.Name, m.MeanIPC(cfg.Name, sb.Baseline))
-		for _, k := range harness.SecureSchemes() {
+		for _, k := range sb.SecureSchemes() {
 			fmt.Printf(" %9.3f", m.NormIPC(cfg.Name, k))
 		}
 		fmt.Printf(" |")
-		for _, k := range harness.SecureSchemes() {
+		for _, k := range sb.SecureSchemes() {
 			fmt.Printf(" %9.3f", m.NormIPC(cfg.Name, k)*synth.RelativeTiming(cfg, k))
 		}
 		fmt.Println()

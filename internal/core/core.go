@@ -94,7 +94,11 @@ func New(cfg Config, kind SchemeKind, prog *isa.Program) (*Core, error) {
 		c.arat[i] = i
 	}
 	c.fe = newFrontend(&c.cfg, prog)
-	c.sch = newScheme(kind, c)
+	sch, err := newScheme(kind, c)
+	if err != nil {
+		return nil, err
+	}
+	c.sch = sch
 	c.main.LoadImage(prog.InitialMemory())
 	return c, nil
 }

@@ -1,0 +1,28 @@
+package core
+
+// nda implements NDA-Permissive (Section 5): the only pipeline changes are
+// the delayed, split load broadcast and the removal of speculative L1-hit
+// wakeup; the broadcast mechanics live in the core's writeback and
+// visibility-point stages.
+type nda struct{}
+
+func init() {
+	RegisterScheme(SchemeSpec{
+		Kind:   KindNDA,
+		Name:   "nda",
+		Order:  3,
+		Secure: true,
+		New:    func(*Core) scheme { return nda{} },
+	})
+}
+
+func (nda) kind() SchemeKind               { return KindNDA }
+func (nda) renameOne(*uop)                 {}
+func (nda) allocPhys(int)                  {}
+func (nda) saveCheckpoint(int)             {}
+func (nda) restoreCheckpoint(int)          {}
+func (nda) fullFlush()                     {}
+func (nda) canSelect(*uop, issuePart) bool { return true }
+func (nda) onIssue(*uop, issuePart) bool   { return true }
+func (nda) delaysLoadBroadcast() bool      { return true }
+func (nda) specWakeup(bool) bool           { return false }

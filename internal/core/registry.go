@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SchemeFactory builds a scheme implementation bound to one core instance.
+// Factories run inside New, after the core's configuration is validated and
+// its structures (physical register file, checkpoint file, ...) are sized,
+// so they may read c.cfg to size their own state.
+type SchemeFactory func(c *Core) scheme
+
+// SchemeSpec describes one secure speculation scheme to the registry.
+type SchemeSpec struct {
+	Kind   SchemeKind    // unique id; also the value carried by Run/Stats
+	Name   string        // unique CLI/display name, e.g. "stt-rename"
+	Order  int           // presentation order in SchemeKinds and the figures
+	Secure bool          // false only for the unsafe baseline
+	New    SchemeFactory // constructor invoked by core.New
+}
+
+// registry holds every known scheme. The built-in four self-register from
+// their defining files' init functions; a new scheme is a one-file drop-in
+// that declares its kind and calls RegisterScheme from its own init.
+var registry = struct {
+	sync.RWMutex
+	specs map[SchemeKind]SchemeSpec
+}{specs: make(map[SchemeKind]SchemeSpec)}
+
+// RegisterScheme adds a scheme to the registry. It panics on a nil factory,
+// an empty name, or a kind/name collision: registration happens at init
+// time, where a broken drop-in should fail loudly, not at run time.
+func RegisterScheme(spec SchemeSpec) {
+	if spec.New == nil {
+		panic(fmt.Sprintf("core: RegisterScheme(%q): nil factory", spec.Name))
+	}
+	if spec.Name == "" {
+		panic(fmt.Sprintf("core: RegisterScheme(kind %d): empty name", spec.Kind))
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if prev, ok := registry.specs[spec.Kind]; ok {
+		panic(fmt.Sprintf("core: scheme kind %d registered twice (%q, %q)", spec.Kind, prev.Name, spec.Name))
+	}
+	for _, s := range registry.specs {
+		if s.Name == spec.Name {
+			panic(fmt.Sprintf("core: scheme name %q registered twice", spec.Name))
+		}
+	}
+	registry.specs[spec.Kind] = spec
+}
+
+// deregisterScheme removes a registration; tests use it to unwind drop-ins.
+func deregisterScheme(kind SchemeKind) {
+	registry.Lock()
+	defer registry.Unlock()
+	delete(registry.specs, kind)
+}
+
+// schemeSpecs returns all registrations sorted by presentation order.
+func schemeSpecs() []SchemeSpec {
+	registry.RLock()
+	specs := make([]SchemeSpec, 0, len(registry.specs))
+	for _, s := range registry.specs {
+		specs = append(specs, s)
+	}
+	registry.RUnlock()
+	sort.Slice(specs, func(i, j int) bool {
+		if specs[i].Order != specs[j].Order {
+			return specs[i].Order < specs[j].Order
+		}
+		return specs[i].Kind < specs[j].Kind
+	})
+	return specs
+}
+
+// SchemeKinds returns every registered kind in presentation order (for the
+// built-in four, the paper's order: baseline, stt-rename, stt-issue, nda).
+func SchemeKinds() []SchemeKind {
+	specs := schemeSpecs()
+	kinds := make([]SchemeKind, len(specs))
+	for i, s := range specs {
+		kinds[i] = s.Kind
+	}
+	return kinds
+}
+
+// SecureSchemeKinds returns the registered kinds with Secure set, in
+// presentation order — everything the baseline is compared against.
+func SecureSchemeKinds() []SchemeKind {
+	var kinds []SchemeKind
+	for _, s := range schemeSpecs() {
+		if s.Secure {
+			kinds = append(kinds, s.Kind)
+		}
+	}
+	return kinds
+}
+
+// SchemeKindByName parses a registered scheme name.
+func SchemeKindByName(name string) (SchemeKind, bool) {
+	registry.RLock()
+	defer registry.RUnlock()
+	for _, s := range registry.specs {
+		if s.Name == name {
+			return s.Kind, true
+		}
+	}
+	return 0, false
+}
+
+// SchemeNames returns every registered scheme name in presentation order.
+func SchemeNames() []string {
+	specs := schemeSpecs()
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+func (k SchemeKind) String() string {
+	registry.RLock()
+	defer registry.RUnlock()
+	if s, ok := registry.specs[k]; ok {
+		return s.Name
+	}
+	return "scheme?"
+}
+
+// newScheme instantiates the registered implementation for a kind.
+func newScheme(k SchemeKind, c *Core) (scheme, error) {
+	registry.RLock()
+	spec, ok := registry.specs[k]
+	registry.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown scheme kind %d (known: %v)", k, SchemeNames())
+	}
+	return spec.New(c), nil
+}

@@ -2,45 +2,18 @@ package core
 
 // SchemeKind enumerates the evaluated secure speculation schemes
 // (Section 7): the unsafe baseline, STT with rename-time tainting, STT
-// with issue-time tainting, and NDA-Permissive.
+// with issue-time tainting, and NDA-Permissive. Kinds are registry keys —
+// a new scheme picks an unused value and registers it (see registry.go);
+// the built-in four self-register from their defining files.
 type SchemeKind uint8
 
-// Scheme kinds.
+// Built-in scheme kinds.
 const (
 	KindBaseline SchemeKind = iota
 	KindSTTRename
 	KindSTTIssue
 	KindNDA
 )
-
-func (k SchemeKind) String() string {
-	switch k {
-	case KindBaseline:
-		return "baseline"
-	case KindSTTRename:
-		return "stt-rename"
-	case KindSTTIssue:
-		return "stt-issue"
-	case KindNDA:
-		return "nda"
-	}
-	return "scheme?"
-}
-
-// SchemeKinds returns all four kinds in the paper's presentation order.
-func SchemeKinds() []SchemeKind {
-	return []SchemeKind{KindBaseline, KindSTTRename, KindSTTIssue, KindNDA}
-}
-
-// SchemeKindByName parses a scheme name.
-func SchemeKindByName(name string) (SchemeKind, bool) {
-	for _, k := range SchemeKinds() {
-		if k.String() == name {
-			return k, true
-		}
-	}
-	return 0, false
-}
 
 // issuePart selects which half of an instruction is being issued. Stores
 // are a single micro-op with independently issuing address and data halves
@@ -93,6 +66,15 @@ type scheme interface {
 // baseline is the unmodified, unsafe core.
 type baseline struct{}
 
+func init() {
+	RegisterScheme(SchemeSpec{
+		Kind:  KindBaseline,
+		Name:  "baseline",
+		Order: 0,
+		New:   func(*Core) scheme { return baseline{} },
+	})
+}
+
 func (baseline) kind() SchemeKind               { return KindBaseline }
 func (baseline) renameOne(*uop)                 {}
 func (baseline) allocPhys(int)                  {}
@@ -103,34 +85,3 @@ func (baseline) canSelect(*uop, issuePart) bool { return true }
 func (baseline) onIssue(*uop, issuePart) bool   { return true }
 func (baseline) delaysLoadBroadcast() bool      { return false }
 func (baseline) specWakeup(base bool) bool      { return base }
-
-func newScheme(k SchemeKind, c *Core) scheme {
-	switch k {
-	case KindBaseline:
-		return baseline{}
-	case KindSTTRename:
-		return newSTTRename(c)
-	case KindSTTIssue:
-		return newSTTIssue(c)
-	case KindNDA:
-		return nda{}
-	}
-	panic("core: unknown scheme kind")
-}
-
-// nda implements NDA-Permissive (Section 5): the only pipeline changes are
-// the delayed, split load broadcast and the removal of speculative L1-hit
-// wakeup; the broadcast mechanics live in the core's writeback and
-// visibility-point stages.
-type nda struct{}
-
-func (nda) kind() SchemeKind               { return KindNDA }
-func (nda) renameOne(*uop)                 {}
-func (nda) allocPhys(int)                  {}
-func (nda) saveCheckpoint(int)             {}
-func (nda) restoreCheckpoint(int)          {}
-func (nda) fullFlush()                     {}
-func (nda) canSelect(*uop, issuePart) bool { return true }
-func (nda) onIssue(*uop, issuePart) bool   { return true }
-func (nda) delaysLoadBroadcast() bool      { return true }
-func (nda) specWakeup(bool) bool           { return false }

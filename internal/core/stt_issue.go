@@ -17,6 +17,16 @@ type sttIssue struct {
 	taint []int64 // per physical register
 }
 
+func init() {
+	RegisterScheme(SchemeSpec{
+		Kind:   KindSTTIssue,
+		Name:   "stt-issue",
+		Order:  2,
+		Secure: true,
+		New:    func(c *Core) scheme { return newSTTIssue(c) },
+	})
+}
+
 func newSTTIssue(c *Core) *sttIssue {
 	s := &sttIssue{c: c, taint: make([]int64, c.cfg.PhysRegs)}
 	for i := range s.taint {

@@ -28,6 +28,16 @@ type sttRename struct {
 	chainDepth [isa.NumRegs]int
 }
 
+func init() {
+	RegisterScheme(SchemeSpec{
+		Kind:   KindSTTRename,
+		Name:   "stt-rename",
+		Order:  1,
+		Secure: true,
+		New:    func(c *Core) scheme { return newSTTRename(c) },
+	})
+}
+
 func newSTTRename(c *Core) *sttRename {
 	s := &sttRename{c: c, ckpts: make([][isa.NumRegs]int64, c.cfg.MaxBranches)}
 	for i := range s.taint {

@@ -44,19 +44,41 @@ func Figure6(m *Matrix) string {
 		"(paper means: STT-Rename 0.819, STT-Issue 0.845, NDA 0.736)")
 }
 
+// SecureSchemes returns the secure schemes actually swept into this
+// matrix, in sweep order. Figures iterate these — not the global registry
+// — so a filtered sweep renders only real cells (no fabricated zeros) and
+// a drop-in scheme gets a column as soon as it is swept.
+func (m *Matrix) SecureSchemes() []core.SchemeKind {
+	secure := make(map[core.SchemeKind]bool)
+	for _, k := range core.SecureSchemeKinds() {
+		secure[k] = true
+	}
+	var out []core.SchemeKind
+	for _, k := range m.Schemes {
+		if secure[k] {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
 func perBenchNormIPC(m *Matrix, cfgName, title, footer string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s\n", title)
-	fmt.Fprintf(&b, "%-18s %11s %11s %11s\n", "benchmark", "STT-Rename", "STT-Issue", "NDA")
+	fmt.Fprintf(&b, "%-18s", "benchmark")
+	for _, kind := range m.SecureSchemes() {
+		fmt.Fprintf(&b, " %11s", kind)
+	}
+	fmt.Fprintf(&b, "\n")
 	for _, prof := range m.Benches {
 		fmt.Fprintf(&b, "%-18s", prof.Name)
-		for _, kind := range SecureSchemes() {
+		for _, kind := range m.SecureSchemes() {
 			fmt.Fprintf(&b, " %11.3f", m.BenchNormIPC(cfgName, kind, prof.Name))
 		}
 		fmt.Fprintf(&b, "\n")
 	}
 	fmt.Fprintf(&b, "%-18s", "arithmetic-mean")
-	for _, kind := range SecureSchemes() {
+	for _, kind := range m.SecureSchemes() {
 		fmt.Fprintf(&b, " %11.3f", m.NormIPC(cfgName, kind))
 	}
 	fmt.Fprintf(&b, "\n%s\n", footer)
@@ -68,7 +90,7 @@ func perBenchNormIPC(m *Matrix, cfgName, title, footer string) string {
 func Figure7(m *Matrix) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7: normalized IPC by configuration\n")
-	for _, kind := range SecureSchemes() {
+	for _, kind := range m.SecureSchemes() {
 		fmt.Fprintf(&b, "\n(%s)\n%-18s", kind, "benchmark")
 		for _, cfg := range m.Configs {
 			fmt.Fprintf(&b, " %8s", cfg.Name)
@@ -117,7 +139,7 @@ func Figure8(m *Matrix) string {
 		fmt.Fprintf(&b, " %8.3f", m.MeanIPC(cfg.Name, core.KindBaseline))
 	}
 	fmt.Fprintf(&b, " %10s\n", "RWC est.")
-	for _, kind := range SecureSchemes() {
+	for _, kind := range m.SecureSchemes() {
 		_, ys, atRWC, _, err := m.trend(func(n string) float64 { return m.NormIPC(n, kind) })
 		if err != nil {
 			fmt.Fprintf(&b, "%-12s trend error: %v\n", kind, err)
@@ -164,7 +186,7 @@ func Figure10(m *Matrix) string {
 		fmt.Fprintf(&b, " %8.3f", m.MeanIPC(cfg.Name, core.KindBaseline))
 	}
 	fmt.Fprintf(&b, "\n")
-	for _, kind := range SecureSchemes() {
+	for _, kind := range m.SecureSchemes() {
 		fmt.Fprintf(&b, "%-12s", kind)
 		for _, cfg := range m.Configs {
 			fmt.Fprintf(&b, " %8.3f", synth.RelativeTiming(cfg, kind))
@@ -208,7 +230,7 @@ func Table3(m *Matrix) string {
 		core.KindSTTIssue:  {0.98, 0.86, 0.81, 0.73, 0.62},
 		core.KindNDA:       {1.01, 0.88, 0.80, 0.78, 0.66},
 	}
-	for _, kind := range SecureSchemes() {
+	for _, kind := range m.SecureSchemes() {
 		_, _, _, atRWCHalved, err := m.trend(func(n string) float64 { return m.Performance(n, kind) })
 		fmt.Fprintf(&b, "%-12s", kind)
 		for _, cfg := range m.Configs {
@@ -219,8 +241,9 @@ func Table3(m *Matrix) string {
 		} else {
 			fmt.Fprintf(&b, " %8s\n", "n/a")
 		}
-		p := paper[kind]
-		fmt.Fprintf(&b, "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f\n", "  (paper)", p[0], p[1], p[2], p[3], p[4])
+		if p, ok := paper[kind]; ok {
+			fmt.Fprintf(&b, "%-12s %8.2f %8.2f %8.2f %8.2f %8.2f\n", "  (paper)", p[0], p[1], p[2], p[3], p[4])
+		}
 	}
 	return b.String()
 }
@@ -240,8 +263,9 @@ func Table4() string {
 	for _, kind := range SecureSchemes() {
 		lut, ff := synth.RelativeArea(mega, kind)
 		fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", kind, lut, ff, synth.RelativePower(mega, kind))
-		p := paper[kind]
-		fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", "  (paper)", p[0], p[1], p[2])
+		if p, ok := paper[kind]; ok {
+			fmt.Fprintf(&b, "%-12s %8.3f %8.3f %8.3f\n", "  (paper)", p[0], p[1], p[2])
+		}
 	}
 	return b.String()
 }
@@ -253,14 +277,19 @@ func Table5(boom, gem5 *Matrix) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 5: IPC loss (%%) per configuration (19-benchmark gem5-comparable suite)\n")
 	fmt.Fprintf(&b, "%-12s %9s %11s %10s %8s\n", "config", "base IPC", "STT-Rename", "STT-Issue", "NDA")
-	loss := func(m *Matrix, cfgName string, kind core.SchemeKind) float64 {
-		return 100 * (1 - m.NormIPC(cfgName, kind))
+	// loss renders "n/a" for schemes absent from a filtered sweep rather
+	// than a fabricated 100% loss.
+	loss := func(m *Matrix, cfgName string, kind core.SchemeKind) string {
+		if _, ok := m.Cell(cfgName, kind); !ok {
+			return "n/a"
+		}
+		return fmt.Sprintf("%.1f%%", 100*(1-m.NormIPC(cfgName, kind)))
 	}
 	for _, cfg := range boom.Configs {
 		if cfg.Name == "small" {
 			continue // the paper reports Medium/Large/Mega
 		}
-		fmt.Fprintf(&b, "%-12s %9.3f %10.1f%% %9.1f%% %7.1f%%\n", "boom "+cfg.Name,
+		fmt.Fprintf(&b, "%-12s %9.3f %11s %10s %8s\n", "boom "+cfg.Name,
 			boom.MeanIPC(cfg.Name, core.KindBaseline),
 			loss(boom, cfg.Name, core.KindSTTRename),
 			loss(boom, cfg.Name, core.KindSTTIssue),
@@ -269,11 +298,11 @@ func Table5(boom, gem5 *Matrix) string {
 	for _, cfg := range gem5.Configs {
 		switch cfg.Name {
 		case "gem5-stt":
-			fmt.Fprintf(&b, "%-12s %9.3f %10.1f%% %9s %7s\n", cfg.Name,
+			fmt.Fprintf(&b, "%-12s %9.3f %11s %10s %8s\n", cfg.Name,
 				gem5.MeanIPC(cfg.Name, core.KindBaseline),
 				loss(gem5, cfg.Name, core.KindSTTRename), "n/a", "n/a")
 		case "gem5-nda":
-			fmt.Fprintf(&b, "%-12s %9.3f %10s %9s %7.1f%%\n", cfg.Name,
+			fmt.Fprintf(&b, "%-12s %9.3f %11s %10s %8s\n", cfg.Name,
 				gem5.MeanIPC(cfg.Name, core.KindBaseline), "n/a", "n/a",
 				loss(gem5, cfg.Name, core.KindNDA))
 		}

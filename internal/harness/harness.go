@@ -8,7 +8,6 @@ import (
 	"fmt"
 
 	"repro/internal/core"
-	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -21,12 +20,21 @@ type Options struct {
 	Scale         int    // workload iteration multiplier
 	WarmupCycles  uint64 // cycles before measurement (caches/predictors warm)
 	MeasureCycles uint64 // measured window
-	Progress      func(format string, args ...any)
+
+	// Parallelism bounds the RunMatrix worker pool; zero or negative
+	// means runtime.NumCPU(). Matrix contents are identical at any
+	// setting — only wall-clock time changes.
+	Parallelism int
+
+	// Progress, when set, receives progress lines. RunMatrix may invoke
+	// it from multiple worker goroutines, but never concurrently: calls
+	// are serialized by the harness.
+	Progress func(format string, args ...any)
 }
 
 // DefaultOptions returns run bounds sized for the benchmark harness: large
 // enough for stable steady-state IPC, small enough that the full 352-run
-// matrix completes in seconds.
+// matrix completes in seconds. Parallelism defaults to all cores.
 func DefaultOptions() Options {
 	return Options{Scale: 1, WarmupCycles: 8_000, MeasureCycles: 32_000}
 }
@@ -53,7 +61,7 @@ type Run struct {
 // is reported as an error because it would corrupt the equal-window
 // aggregation.
 func RunOne(cfg core.Config, kind core.SchemeKind, prof workloads.Profile, opts Options) (Run, error) {
-	prog := prof.Build(maxInt(opts.Scale, 1))
+	prog := prof.Build(max(opts.Scale, 1))
 	c, err := core.New(cfg, kind, prog)
 	if err != nil {
 		return Run{}, err
@@ -108,36 +116,6 @@ type Matrix struct {
 	cells   map[string]map[core.SchemeKind]*Cell
 }
 
-// RunMatrix sweeps every (configuration, scheme, benchmark) triple.
-func RunMatrix(configs []core.Config, schemes []core.SchemeKind, benches []workloads.Profile, opts Options) (*Matrix, error) {
-	m := &Matrix{
-		Configs: configs,
-		Schemes: schemes,
-		Benches: benches,
-		cells:   make(map[string]map[core.SchemeKind]*Cell),
-	}
-	for _, cfg := range configs {
-		m.cells[cfg.Name] = make(map[core.SchemeKind]*Cell)
-		for _, kind := range schemes {
-			cell := &Cell{Config: cfg, Scheme: kind}
-			var cycles, insts []uint64
-			for _, prof := range benches {
-				r, err := RunOne(cfg, kind, prof, opts)
-				if err != nil {
-					return nil, err
-				}
-				cell.Runs = append(cell.Runs, r)
-				cycles = append(cycles, r.Cycles)
-				insts = append(insts, r.Insts)
-			}
-			cell.MeanIPC = stats.MeanIPC(cycles, insts)
-			m.cells[cfg.Name][kind] = cell
-			opts.logf("harness: %-8s %-11s mean IPC %.4f", cfg.Name, kind, cell.MeanIPC)
-		}
-	}
-	return m, nil
-}
-
 // Cell returns the aggregate for one (configuration, scheme).
 func (m *Matrix) Cell(cfgName string, kind core.SchemeKind) (*Cell, bool) {
 	row, ok := m.cells[cfgName]
@@ -184,14 +162,10 @@ func (m *Matrix) BenchNormIPC(cfgName string, kind core.SchemeKind, bench string
 	return rs.IPC / rb.IPC
 }
 
-// SecureSchemes is the paper's presentation order for the three schemes.
+// SecureSchemes returns every registered secure scheme in presentation
+// order — for the built-in set, the paper's order (STT-Rename, STT-Issue,
+// NDA). Drop-in schemes registered with core.RegisterScheme appear here
+// automatically.
 func SecureSchemes() []core.SchemeKind {
-	return []core.SchemeKind{core.KindSTTRename, core.KindSTTIssue, core.KindNDA}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+	return core.SecureSchemeKinds()
 }

@@ -1,0 +1,139 @@
+package harness
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workloads"
+)
+
+// The parallel evaluation engine. RunMatrix enumerates the full
+// (configuration × scheme × benchmark) cross product as independent jobs
+// up front, executes them on a bounded worker pool, and aggregates the
+// results in enumeration order. Every simulation is hermetic (each job
+// builds its own program and core; workloads use a seeded PRNG, not global
+// state), so Matrix contents — and therefore every figure rendered from
+// them — are bit-for-bit identical at any Parallelism setting.
+
+// job names one cell run by flat index into the cross product.
+type job struct{ ci, si, bi int }
+
+// RunMatrix sweeps every (configuration, scheme, benchmark) triple on a
+// worker pool of Options.Parallelism goroutines (default: all CPUs).
+func RunMatrix(configs []core.Config, schemes []core.SchemeKind, benches []workloads.Profile, opts Options) (*Matrix, error) {
+	return RunMatrixContext(context.Background(), configs, schemes, benches, opts)
+}
+
+// RunMatrixContext is RunMatrix with cancellation. A cancelled context
+// stops the sweep promptly (pending jobs are abandoned between runs) and
+// returns ctx's error; the first job error cancels the remaining work and
+// is propagated (fail-fast). On error the partial matrix is discarded.
+func RunMatrixContext(ctx context.Context, configs []core.Config, schemes []core.SchemeKind, benches []workloads.Profile, opts Options) (*Matrix, error) {
+	nc, ns, nb := len(configs), len(schemes), len(benches)
+	total := nc * ns * nb
+
+	// Results land in job-index slots, never appended, so completion
+	// order cannot leak into aggregation order.
+	runs := make([]Run, total)
+	errs := make([]error, total)
+
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > total {
+		workers = total
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		logMu sync.Mutex
+		done  int
+	)
+	jobDone := func(r Run) {
+		logMu.Lock()
+		done++
+		opts.logf("harness: [%d/%d] %s/%s/%s IPC %.4f", done, total, r.Config, r.Scheme, r.Bench, r.IPC)
+		logMu.Unlock()
+	}
+
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if runCtx.Err() != nil {
+					continue // drain: the sweep is being torn down
+				}
+				idx := (j.ci*ns+j.si)*nb + j.bi
+				r, err := RunOne(configs[j.ci], schemes[j.si], benches[j.bi], opts)
+				if err != nil {
+					errs[idx] = err
+					cancel() // fail fast: stop scheduling new work
+					continue
+				}
+				runs[idx] = r
+				jobDone(r)
+			}
+		}()
+	}
+feed:
+	for ci := 0; ci < nc; ci++ {
+		for si := 0; si < ns; si++ {
+			for bi := 0; bi < nb; bi++ {
+				select {
+				case jobs <- job{ci, si, bi}:
+				case <-runCtx.Done():
+					break feed
+				}
+			}
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	// Error precedence: a job failure beats the cancellation it caused;
+	// the scan is in job order, so the reported error is deterministic
+	// even if several jobs failed in the same sweep.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Aggregate in enumeration order, exactly as the sequential sweep
+	// did, so cell contents and progress output are schedule-independent.
+	m := &Matrix{
+		Configs: configs,
+		Schemes: schemes,
+		Benches: benches,
+		cells:   make(map[string]map[core.SchemeKind]*Cell),
+	}
+	for ci, cfg := range configs {
+		m.cells[cfg.Name] = make(map[core.SchemeKind]*Cell)
+		for si, kind := range schemes {
+			cell := &Cell{Config: cfg, Scheme: kind}
+			var cycles, insts []uint64
+			for bi := range benches {
+				r := runs[(ci*ns+si)*nb+bi]
+				cell.Runs = append(cell.Runs, r)
+				cycles = append(cycles, r.Cycles)
+				insts = append(insts, r.Insts)
+			}
+			cell.MeanIPC = stats.MeanIPC(cycles, insts)
+			m.cells[cfg.Name][kind] = cell
+			opts.logf("harness: %-8s %-11s mean IPC %.4f", cfg.Name, kind, cell.MeanIPC)
+		}
+	}
+	return m, nil
+}

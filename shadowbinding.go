@@ -15,9 +15,23 @@
 //
 //	cfg := shadowbinding.MegaConfig()
 //	run, err := shadowbinding.RunBenchmark(cfg, shadowbinding.STTIssue, "538.imagick", shadowbinding.DefaultOptions())
+//
+// Sweeps execute on a parallel evaluation engine: every (configuration,
+// scheme, benchmark) cell is an independent job run on a bounded worker
+// pool. Options.Parallelism sets the pool size (zero means all CPUs) and
+// results are deterministic — identical matrices and figure text at any
+// parallelism. Long sweeps accept a context for cancellation via
+// NewEvaluationContext and RunMatrix.
+//
+// Schemes are open-ended: the built-in four live in a registry
+// (core.RegisterScheme) and everything here — Schemes, SecureSchemes,
+// SchemeByName, the evaluation sweeps — enumerates the registry, so a
+// drop-in scheme file in internal/core shows up everywhere without
+// touching pipeline or harness code.
 package shadowbinding
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -65,8 +79,56 @@ var (
 	MegaConfig   = core.MegaConfig
 	Configs      = core.Configs
 	ConfigByName = core.ConfigByName
-	Schemes      = core.SchemeKinds
+
+	// Scheme enumeration, backed by the core registry.
+	Schemes       = core.SchemeKinds
+	SecureSchemes = core.SecureSchemeKinds
+	SchemeNames   = core.SchemeNames
 )
+
+// SchemeByName resolves one registered scheme name ("stt-issue", ...).
+func SchemeByName(name string) (Scheme, error) {
+	k, ok := core.SchemeKindByName(name)
+	if !ok {
+		return 0, fmt.Errorf("shadowbinding: unknown scheme %q (known: %s)",
+			name, strings.Join(core.SchemeNames(), ", "))
+	}
+	return k, nil
+}
+
+// ParseSchemes parses a comma-separated scheme filter such as
+// "stt-rename,nda", dropping duplicates. An empty string selects every
+// registered scheme.
+func ParseSchemes(csv string) ([]Scheme, error) {
+	if strings.TrimSpace(csv) == "" {
+		return Schemes(), nil
+	}
+	var out []Scheme
+	seen := make(map[Scheme]bool)
+	for _, name := range strings.Split(csv, ",") {
+		k, err := SchemeByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// WithBaseline prepends the baseline when absent: every figure and
+// comparison normalizes against it, so a filtered sweep still needs the
+// baseline cells.
+func WithBaseline(schemes []Scheme) []Scheme {
+	for _, k := range schemes {
+		if k == Baseline {
+			return schemes
+		}
+	}
+	return append([]Scheme{Baseline}, schemes...)
+}
 
 // DefaultOptions returns evaluation run bounds (warmup + fixed measurement
 // window per run).
@@ -85,6 +147,14 @@ func RunBenchmark(cfg Config, kind Scheme, bench string, opts Options) (Run, err
 		return Run{}, err
 	}
 	return harness.RunOne(cfg, kind, p, opts)
+}
+
+// RunMatrix sweeps (configs × schemes × benches) on the parallel
+// evaluation engine: Options.Parallelism worker goroutines (zero means all
+// CPUs), fail-fast on the first error, cancellable through ctx, and with
+// deterministic matrix contents regardless of scheduling order.
+func RunMatrix(ctx context.Context, configs []Config, schemes []Scheme, benches []Benchmark, opts Options) (*Matrix, error) {
+	return harness.RunMatrixContext(ctx, configs, schemes, benches, opts)
 }
 
 // TraceOf digests a run's counters into TraceDoctor-style KPIs.
@@ -113,16 +183,26 @@ type Evaluation struct {
 }
 
 // NewEvaluation runs the full sweep (4 configs × 4 schemes × 22 benchmarks
-// plus 2 gem5 configs × 4 schemes × 19 benchmarks). With DefaultOptions
-// this takes on the order of a minute.
+// plus 2 gem5 configs × 4 schemes × 19 benchmarks) on the parallel engine.
 func NewEvaluation(opts Options) (*Evaluation, error) {
-	boom, err := harness.RunMatrix(core.Configs(), core.SchemeKinds(), workloads.Suite(), opts)
+	return NewEvaluationContext(context.Background(), Schemes(), opts)
+}
+
+// NewEvaluationContext is NewEvaluation restricted to a scheme subset and
+// cancellable through ctx. The baseline is always included: the figures
+// normalize against it.
+func NewEvaluationContext(ctx context.Context, schemes []Scheme, opts Options) (*Evaluation, error) {
+	if len(schemes) == 0 {
+		schemes = Schemes()
+	}
+	schemes = WithBaseline(schemes)
+	boom, err := harness.RunMatrixContext(ctx, core.Configs(), schemes, workloads.Suite(), opts)
 	if err != nil {
 		return nil, err
 	}
-	gem5, err := harness.RunMatrix(
+	gem5, err := harness.RunMatrixContext(ctx,
 		[]core.Config{core.Gem5STTConfig(), core.Gem5NDAConfig()},
-		core.SchemeKinds(), workloads.Gem5Comparable(), opts)
+		schemes, workloads.Gem5Comparable(), opts)
 	if err != nil {
 		return nil, err
 	}

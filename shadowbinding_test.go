@@ -1,6 +1,7 @@
 package shadowbinding
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,6 +23,64 @@ func TestRunBenchmarkFacade(t *testing.T) {
 	}
 	if _, err := RunBenchmark(MegaConfig(), NDA, "999.none", opts); err == nil {
 		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestSchemeFacade(t *testing.T) {
+	if got := len(Schemes()); got != 4 {
+		t.Errorf("registered schemes = %d, want 4", got)
+	}
+	if got := len(SecureSchemes()); got != 3 {
+		t.Errorf("secure schemes = %d, want 3", got)
+	}
+	k, err := SchemeByName("stt-issue")
+	if err != nil || k != STTIssue {
+		t.Errorf("SchemeByName(stt-issue) = %v, %v", k, err)
+	}
+	if _, err := SchemeByName("stt-magic"); err == nil {
+		t.Error("unknown scheme name accepted")
+	}
+
+	got, err := ParseSchemes(" nda, baseline ,nda")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != NDA || got[1] != Baseline {
+		t.Errorf("ParseSchemes must dedupe in order, got %v", got)
+	}
+	if ws := WithBaseline([]Scheme{NDA}); len(ws) != 2 || ws[0] != Baseline || ws[1] != NDA {
+		t.Errorf("WithBaseline = %v", ws)
+	}
+	if ws := WithBaseline(got); len(ws) != 2 {
+		t.Errorf("WithBaseline must not duplicate an existing baseline: %v", ws)
+	}
+	all, err := ParseSchemes("")
+	if err != nil || len(all) != len(Schemes()) {
+		t.Errorf("empty filter = %v, %v; want all schemes", all, err)
+	}
+	if _, err := ParseSchemes("nda,bogus"); err == nil {
+		t.Error("bogus filter accepted")
+	}
+}
+
+func TestRunMatrixFacade(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WarmupCycles = 2_000
+	opts.MeasureCycles = 8_000
+	opts.Parallelism = 4
+	prof, err := BenchmarkByName("503.bwaves")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := RunMatrix(context.Background(),
+		[]Config{MegaConfig()}, Schemes(), []Benchmark{prof}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range Schemes() {
+		if m.MeanIPC("mega", k) <= 0 {
+			t.Errorf("%s: no IPC in facade matrix", k)
+		}
 	}
 }
 
