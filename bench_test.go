@@ -1,11 +1,13 @@
 package shadowbinding
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/harness"
 	"repro/internal/synth"
 	"repro/internal/workloads"
 )
@@ -263,6 +265,48 @@ func BenchmarkAblation_BroadcastBandwidth(b *testing.B) {
 	for _, ports := range []int{1, 2, 4} {
 		b.Logf("cactuBSSN NDA, %d broadcast ports: IPC %.3f", ports, ipcs[ports])
 	}
+}
+
+// BenchmarkCoreMatrixThroughput measures end-to-end simulator throughput
+// — simulated cycles per wall-clock second — on the default full matrix
+// at -j 1 (single worker, so the number isolates core-model speed from
+// pool scaling) and emits the measurement as BENCH_core.json for the
+// performance trajectory. With -short a 2-benchmark slice of the matrix
+// is measured instead, so the CI bench smoke step stays fast while still
+// producing the artifact.
+func BenchmarkCoreMatrixThroughput(b *testing.B) {
+	benches := Benchmarks()
+	label := "default-matrix-j1"
+	if testing.Short() {
+		var slice []Benchmark
+		for _, p := range benches {
+			if p.Name == "505.mcf" || p.Name == "525.x264" {
+				slice = append(slice, p)
+			}
+		}
+		benches = slice
+		label = "short-matrix-j1"
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+
+	var simCycles uint64
+	var cells int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := RunMatrix(context.Background(), Configs(), Schemes(), benches, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += m.TotalSimCycles()
+		cells += m.NumRuns()
+	}
+	rep := harness.NewBenchReport(label, cells, simCycles, b.Elapsed(), 1)
+	b.ReportMetric(rep.SimCyclesPerSec, "simCycles/s")
+	if err := harness.WriteBenchReport("BENCH_core.json", rep); err != nil {
+		b.Fatal(err)
+	}
+	b.Log(rep)
 }
 
 // BenchmarkSimulatorThroughput measures raw model speed (simulated cycles

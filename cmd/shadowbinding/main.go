@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	sb "repro"
 )
@@ -32,6 +33,7 @@ func main() {
 	schemesCSV := flag.String("schemes", "",
 		"comma-separated scheme filter (default all: "+strings.Join(sb.SchemeNames(), ",")+"); baseline is always included")
 	quiet := flag.Bool("q", false, "suppress progress output")
+	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the sweep to this path")
 	flag.Parse()
 
 	if *experiment == "security" {
@@ -63,9 +65,18 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 
+	sweepStart := time.Now()
 	eval, err := sb.NewEvaluationContext(ctx, schemes, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *benchOut != "" {
+		rep := sb.NewBenchReport("evaluation-sweep", eval.NumRuns(), eval.TotalSimCycles(),
+			time.Since(sweepStart), opts.Parallelism)
+		if err := sb.WriteBenchReport(*benchOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "shadowbinding:", rep)
 	}
 
 	ids := []string{*experiment}

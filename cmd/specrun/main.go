@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	sb "repro"
 	"repro/internal/trace"
@@ -28,6 +29,7 @@ func main() {
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles")
 	measure := flag.Uint64("measure", 32_000, "measured cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
+	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the measured cell(s) to this path")
 	flag.Parse()
 
 	if *list {
@@ -47,7 +49,7 @@ func main() {
 	opts.Parallelism = *parallel
 
 	if *schemesCSV != "" {
-		sweep(cfg, *bench, *schemesCSV, opts)
+		sweep(cfg, *bench, *schemesCSV, opts, *benchOut)
 		return
 	}
 
@@ -55,10 +57,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	run, err := sb.RunBenchmark(cfg, kind, *bench, opts)
 	if err != nil {
 		fatal(err)
 	}
+	writeBench(*benchOut, "specrun-cell", 1, run.TotalCycles, time.Since(start), 1)
 	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n\n",
 		*bench, cfg.Name, kind, run.IPC, run.Insts, run.Cycles)
 	fmt.Println(run.Stats)
@@ -76,7 +80,7 @@ func main() {
 
 // sweep runs one benchmark under several schemes concurrently and prints
 // a comparison table plus the per-scheme trace deltas against baseline.
-func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options) {
+func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options, benchOut string) {
 	schemes, err := sb.ParseSchemes(schemesCSV)
 	if err != nil {
 		fatal(err)
@@ -86,11 +90,13 @@ func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options) {
 	if err != nil {
 		fatal(err)
 	}
+	start := time.Now()
 	m, err := sb.RunMatrix(context.Background(),
 		[]sb.Config{cfg}, schemes, []sb.Benchmark{prof}, opts)
 	if err != nil {
 		fatal(err)
 	}
+	writeBench(benchOut, "specrun-sweep", m.NumRuns(), m.TotalSimCycles(), time.Since(start), opts.Parallelism)
 
 	fmt.Printf("%s on %s, %d schemes\n\n", bench, cfg.Name, len(schemes))
 	fmt.Printf("%-12s %8s %10s\n", "scheme", "IPC", "vs base")
@@ -110,6 +116,18 @@ func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options) {
 		}
 		fmt.Println(trace.Compare(sb.TraceOf(baseCell.Runs[0]), sb.TraceOf(cell.Runs[0])))
 	}
+}
+
+// writeBench emits the throughput report when -bench-out was given.
+func writeBench(path, label string, cells int, simCycles uint64, wall time.Duration, workers int) {
+	if path == "" {
+		return
+	}
+	rep := sb.NewBenchReport(label, cells, simCycles, wall, workers)
+	if err := sb.WriteBenchReport(path, rep); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "specrun:", rep)
 }
 
 func fatal(err error) {

@@ -15,6 +15,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"time"
 
 	sb "repro"
 	"repro/internal/attack"
@@ -24,6 +25,7 @@ func main() {
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega")
 	schemesCSV := flag.String("schemes", "", "comma-separated scheme filter (default: all registered schemes)")
 	parallel := flag.Int("j", 0, "worker pool size for the attack matrix (0 = all CPUs)")
+	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the attack matrix to this path")
 	flag.Parse()
 
 	cfg, err := sb.ConfigByName(*config)
@@ -53,6 +55,7 @@ func main() {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	start := time.Now()
 	results := make([]sb.AttackResult, len(jobs))
 	errs := make([]error, len(jobs))
 	var wg sync.WaitGroup
@@ -75,6 +78,17 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	if *benchOut != "" {
+		var simCycles uint64
+		for _, r := range results {
+			simCycles += r.Cycles
+		}
+		rep := sb.NewBenchReport("spectre-attack-matrix", len(jobs), simCycles, time.Since(start), workers)
+		if err := sb.WriteBenchReport(*benchOut, rep); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "spectre:", rep)
 	}
 
 	fmt.Printf("Spectre v1 bounds-check bypass on the %s configuration\n", cfg.Name)

@@ -140,6 +140,24 @@ func TestBTBLookupUpdate(t *testing.T) {
 	}
 }
 
+func TestBTBInvalidate(t *testing.T) {
+	btb := NewBTB(64)
+	btb.Update(0x10, 0x99, false, false)
+	btb.Invalidate(0x10)
+	if _, _, _, hit := btb.Lookup(0x10); hit {
+		t.Error("invalidated entry must miss")
+	}
+	// Invalidating a PC whose slot holds a different instruction's entry
+	// must leave that entry alone.
+	btb.Update(0x20, 0x55, false, false)
+	btb.Invalidate(0x20 + 64)
+	if _, _, _, hit := btb.Lookup(0x20); !hit {
+		t.Error("invalidate of an aliasing PC evicted an unrelated entry")
+	}
+	// Invalidating a cold slot is a no-op.
+	btb.Invalidate(0x3000)
+}
+
 func TestRASPushPop(t *testing.T) {
 	r := NewRAS(4)
 	if _, ok := r.Pop(); ok {

@@ -43,6 +43,17 @@ func (b *BTB) Update(pc, target uint64, isCall, isRet bool) {
 	b.entries[pc&b.mask] = btbEntry{pc: pc, target: target, valid: true, isCall: isCall, isRet: isRet}
 }
 
+// Invalidate drops pc's entry if it is the one resident in pc's slot. A
+// branch that commits not-taken calls this so its stale taken-target entry
+// cannot keep forcing predicted-taken redirects; a slot holding a different
+// instruction's entry is left alone.
+func (b *BTB) Invalidate(pc uint64) {
+	e := &b.entries[pc&b.mask]
+	if e.valid && e.pc == pc {
+		*e = btbEntry{}
+	}
+}
+
 // RAS is a circular return-address stack. Checkpoints save only the top
 // index (the conventional low-cost design); deeper corruption after a
 // misspeculated call/return sequence is possible and tolerated, exactly as

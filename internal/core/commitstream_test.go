@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+var updateStreams = flag.Bool("update", false, "rewrite testdata/commit_streams.golden")
+
+// streamCells is the representative slice of the evaluation matrix whose
+// committed-instruction streams are pinned: the narrowest and widest
+// configurations, every scheme, one memory-bound and one forwarding-heavy
+// proxy. Together they exercise squashes, memory-ordering flushes, taint
+// blocking, and delayed broadcasts.
+func streamCells() (configs []Config, benches []string) {
+	return []Config{SmallConfig(), MegaConfig()}, []string{"505.mcf", "548.exchange2"}
+}
+
+// commitStreamHash runs one cell for a fixed cycle budget and hashes every
+// committed instruction record.
+func commitStreamHash(t *testing.T, cfg Config, kind SchemeKind, bench string) string {
+	t.Helper()
+	prof, err := workloads.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := MustNew(cfg, kind, prof.Build(1))
+	h := sha256.New()
+	c.CommitHook = func(rec isa.Commit) {
+		fmt.Fprintf(h, "%d %v %d %d %v %d %d\n",
+			rec.PC, rec.Inst, rec.Value, rec.Addr, rec.Taken, rec.Target, rec.Rd)
+	}
+	if _, err := c.Run(RunLimits{MaxCycles: 30_000}); err != nil {
+		t.Fatalf("%s/%s/%s: %v", cfg.Name, kind, bench, err)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestCommittedStreamGolden pins the committed-instruction stream of each
+// representative cell as a hash. This is the byte-identical oracle for
+// scheduler and pipeline refactors: a perf-only change to the core must
+// reproduce every hash exactly. An intentional model change regenerates
+// the file with -update.
+func TestCommittedStreamGolden(t *testing.T) {
+	path := filepath.Join("testdata", "commit_streams.golden")
+	configs, benches := streamCells()
+
+	if *updateStreams {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, cfg := range configs {
+			for _, kind := range SchemeKinds() {
+				for _, bench := range benches {
+					fmt.Fprintf(&b, "%s/%s/%s %s\n", cfg.Name, kind, bench,
+						commitStreamHash(t, cfg, kind, bench))
+				}
+			}
+		}
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to generate): %v", err)
+	}
+	defer f.Close()
+	want := make(map[string]string)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 2 {
+			want[fields[0]] = fields[1]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, cfg := range configs {
+		for _, kind := range SchemeKinds() {
+			for _, bench := range benches {
+				key := fmt.Sprintf("%s/%s/%s", cfg.Name, kind, bench)
+				t.Run(key, func(t *testing.T) {
+					wantHash, ok := want[key]
+					if !ok {
+						t.Fatalf("no golden hash for %s (regenerate with -update)", key)
+					}
+					if got := commitStreamHash(t, cfg, kind, bench); got != wantHash {
+						t.Errorf("committed stream diverged: hash %s, want %s; if the model change is intentional, regenerate with -update", got, wantHash)
+					}
+				})
+			}
+		}
+	}
+}

@@ -19,7 +19,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/isa"
 	"repro/internal/mem"
@@ -40,15 +39,21 @@ type Core struct {
 	cycle  uint64
 	seqCtr uint64
 
-	rob   *rob
-	prf   *physRegFile
-	rat   *rat
-	arat  [isa.NumRegs]int // committed RAT (memory-ordering flush recovery)
-	ckpts *checkpointFile
-	iq    []*uop
-	exec  []*uop // issued, in flight
-	lsu   *lsu
-	mdp   *memDepPredictor
+	rob    *rob
+	prf    *physRegFile
+	rat    *rat
+	arat   [isa.NumRegs]int // committed RAT (memory-ordering flush recovery)
+	ckpts  *checkpointFile
+	iq     []*uop
+	events eventQueue // scheduled completions of issued uops
+	lsu    *lsu
+	mdp    *memDepPredictor
+
+	// pool recycles committed uops back into rename, eliminating the
+	// per-rename allocation; vpDone counts the leading ROB entries the
+	// visibility-point walk has already passed (its resume offset).
+	pool   []*uop
+	vpDone int
 
 	divBusyUntil uint64
 
@@ -221,6 +226,12 @@ func (c *Core) commitStage() {
 			return
 		}
 		c.rob.pop()
+		if c.vpDone > 0 {
+			// Head pop shifts the visibility-point walk's resume offset.
+			// An unvisited head (commit ran ahead of the walk, offset 0)
+			// stays at the new head.
+			c.vpDone--
+		}
 		c.lastCommitCycle = c.cycle
 		c.Stats.Committed++
 		switch u.class() {
@@ -244,7 +255,7 @@ func (c *Core) commitStage() {
 				// ready broadcast before its register can be reallocated.
 				u.broadcastPending = false
 				if u.pd != noReg {
-					c.prf.readyAt[u.pd] = c.cycle
+					c.prf.announce(u.pd, c.cycle)
 				}
 			}
 		case isa.ClassStore:
@@ -256,6 +267,13 @@ func (c *Core) commitStage() {
 			c.fe.dir.Update(u.pc, u.predHist, u.taken)
 			if u.taken {
 				c.fe.btb.Update(u.pc, u.target, false, false)
+			} else {
+				// A branch that stops being taken must not keep its stale
+				// taken-target entry: the front end only redirects on a
+				// direction-predictor taken AND a BTB hit, so a dead entry
+				// would force wrong-path redirects forever (e.g. after a
+				// loop exit).
+				c.fe.btb.Invalidate(u.pc)
 			}
 		case isa.ClassJump:
 			c.Stats.CommittedJumps++
@@ -276,7 +294,35 @@ func (c *Core) commitStage() {
 		if c.CommitHook != nil {
 			c.CommitHook(commitRecord(u))
 		}
+		c.freeUop(u)
 	}
+}
+
+// allocUop takes a uop from the rename pool, or the heap when the pool is
+// dry; rename fully reinitializes every field.
+func (c *Core) allocUop() *uop {
+	if n := len(c.pool); n > 0 {
+		u := c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		return u
+	}
+	return new(uop)
+}
+
+// freeUop recycles a committed uop into the rename pool. Only committed
+// uops are pooled: a squashed uop may still be referenced by a pending
+// completion event or a register-file wakeup list, and recycling it under
+// a live reference would corrupt an unrelated instruction. A committed
+// uop has provably drained every such reference — its events fired before
+// it could complete, its operands were announced before it could issue —
+// except a stale entry in the pending-broadcast queue, which inNonSpecQ
+// tracks; those are recycled when the queue drain reaches them.
+func (c *Core) freeUop(u *uop) {
+	if u.inNonSpecQ {
+		u.dead = true
+		return
+	}
+	c.pool = append(c.pool, u)
 }
 
 func (c *Core) releaseCheckpointOf(u *uop) {
@@ -311,10 +357,10 @@ func commitRecord(u *uop) isa.Commit {
 // Visibility point and bounded broadcast
 
 func (c *Core) vpStage() {
-	c.rob.forEach(func(u *uop) bool {
-		if u.nonSpec {
-			return true
-		}
+	// Resume the walk at the last stall point: everything older is
+	// already non-speculative (nonSpec is never cleared on a live uop),
+	// so re-walking from the head would only re-skip marked entries.
+	c.vpDone = c.rob.forEachFrom(c.vpDone, func(u *uop) bool {
 		if u.castsCShadow() && u.state != stateDone {
 			return false
 		}
@@ -330,19 +376,29 @@ func (c *Core) vpStage() {
 		}
 		u.nonSpec = true
 		if u.isLoad() {
+			u.inNonSpecQ = true
 			c.nonSpecLoadQ = append(c.nonSpecLoadQ, u)
 		}
 		return true
 	})
 	// Broadcast non-speculative loads: at most one per memory port per
 	// cycle (the broadcast network shared by STT's YRoT wakeups and NDA's
-	// delayed ready broadcasts, Sections 4.4 and 5.1).
-	for n := 0; n < c.cfg.MemPorts && len(c.nonSpecLoadQ) > 0; n++ {
+	// delayed ready broadcasts, Sections 4.4 and 5.1). Stale entries —
+	// loads already broadcast at commit, or squashed wrong-path loads —
+	// are dropped without consuming a port: they put nothing on the
+	// broadcast network, so charging them a slot would under-model the
+	// bandwidth available to real broadcasts behind them in the queue.
+	for n := 0; n < c.cfg.MemPorts && len(c.nonSpecLoadQ) > 0; {
 		ld := c.nonSpecLoadQ[0]
 		c.nonSpecLoadQ = c.nonSpecLoadQ[1:]
-		if ld.broadcasted {
-			continue // already broadcast at commit
+		ld.inNonSpecQ = false
+		if ld.state == stateSquashed || ld.broadcasted {
+			if ld.dead {
+				c.pool = append(c.pool, ld) // committed earlier; queue ref was the last
+			}
+			continue
 		}
+		n++
 		ld.broadcasted = true
 		if int64(ld.seq) > c.curSafeSeq {
 			c.curSafeSeq = int64(ld.seq)
@@ -352,7 +408,7 @@ func (c *Core) vpStage() {
 			// NDA: release the withheld ready broadcast; dependents can
 			// issue next cycle.
 			ld.broadcastPending = false
-			c.prf.readyAt[ld.pd] = c.cycle + 1
+			c.prf.announce(ld.pd, c.cycle+1)
 		}
 	}
 }
@@ -360,49 +416,39 @@ func (c *Core) vpStage() {
 // ---------------------------------------------------------------------------
 // Writeback
 
+// writebackStage retires the completion events due this cycle. Events pop
+// in (cycle, seq) order, so same-cycle completions are processed oldest-
+// first — in particular, an older mispredicted branch squashes younger
+// same-cycle completions before their events surface, and those surface
+// as stateSquashed and are discarded.
 func (c *Core) writebackStage() {
-	if len(c.exec) == 0 {
-		return
-	}
-	inflight := c.exec
-	sort.Slice(inflight, func(i, j int) bool { return inflight[i].seq < inflight[j].seq })
-	var remaining []*uop
-	for _, u := range inflight {
+	for {
+		e, ok := c.events.due(c.cycle)
+		if !ok {
+			return
+		}
+		u := e.u
 		if u.state == stateSquashed {
-			continue
+			continue // squashed after issue; the event outlived it
 		}
-		if u.isStore() {
-			if c.storeWriteback(u) {
-				remaining = append(remaining, u)
+		switch e.kind {
+		case evStoreAddr:
+			u.addrReady = true
+			if v := c.lsu.checkViolations(u); v > 0 {
+				c.Stats.MemOrderViolations += uint64(v)
 			}
-			continue
-		}
-		if u.doneAt > c.cycle {
-			remaining = append(remaining, u)
-			continue
-		}
-		c.completeUop(u)
-	}
-	c.exec = remaining
-}
-
-// storeWriteback advances a store's halves; it reports whether the store
-// is still in flight.
-func (c *Core) storeWriteback(u *uop) bool {
-	if u.addrIssued && !u.addrReady && u.addrDoneAt <= c.cycle {
-		u.addrReady = true
-		if v := c.lsu.checkViolations(u); v > 0 {
-			c.Stats.MemOrderViolations += uint64(v)
+			if u.dataReady {
+				u.state = stateDone
+			}
+		case evStoreData:
+			u.dataReady = true
+			if u.addrReady {
+				u.state = stateDone
+			}
+		default:
+			c.completeUop(u)
 		}
 	}
-	if u.dataIssued && !u.dataReady && u.dataDoneAt <= c.cycle {
-		u.dataReady = true
-	}
-	if u.addrReady && u.dataReady {
-		u.state = stateDone
-		return false
-	}
-	return true
 }
 
 func (c *Core) completeUop(u *uop) {
@@ -438,7 +484,7 @@ func (c *Core) loadBroadcast(u *uop) {
 	}
 	if !c.sch.specWakeup(c.cfg.SpecWakeup) {
 		// Without speculative wakeup the broadcast follows writeback.
-		c.prf.readyAt[u.pd] = c.cycle + 1
+		c.prf.announce(u.pd, c.cycle+1)
 	}
 	// With speculative wakeup readyAt was announced at issue.
 }
@@ -473,7 +519,13 @@ func (c *Core) reclaim(u *uop) {
 func (c *Core) squashAfterBranch(u *uop, conditional bool) {
 	ck := c.ckpts.get(u.ckpt)
 	c.rob.squashYoungerThan(u.seq, c.reclaim)
+	if c.vpDone > c.rob.len() {
+		// The walk never passes an unresolved branch, so its visited
+		// prefix survives the tail truncation; cap it all the same.
+		c.vpDone = c.rob.len()
+	}
 	c.filterIQ()
+	c.pruneNonSpecLoadQ(u.seq)
 	c.lsu.squashYoungerThan(u.seq)
 	c.rat.restore(ck.ratCopy)
 	c.sch.restoreCheckpoint(u.ckpt)
@@ -497,14 +549,43 @@ func (c *Core) squashAfterBranch(u *uop, conditional bool) {
 // (memory-ordering violation recovery).
 func (c *Core) flushPipeline(pc uint64) {
 	c.rob.squashYoungerThan(0, c.reclaim)
+	c.vpDone = 0
 	c.rat.restore(c.arat)
 	c.ckpts.releaseAll()
 	c.sch.fullFlush()
 	c.lsu.clear()
 	c.iq = c.iq[:0]
-	c.exec = c.exec[:0]
+	c.events.clear()
+	c.prf.clearWaiters()
+	for _, ld := range c.nonSpecLoadQ {
+		ld.inNonSpecQ = false
+		if ld.dead {
+			c.pool = append(c.pool, ld)
+		}
+	}
 	c.nonSpecLoadQ = c.nonSpecLoadQ[:0]
 	c.fe.redirect(pc)
+}
+
+// pruneNonSpecLoadQ drops squashed wrong-path loads from the pending
+// broadcast queue after a branch squash. flushPipeline clears the queue
+// wholesale, but a branch squash did not: a dead load left behind would be
+// popped by a later vpStage drain and its seq could advance curSafeSeq —
+// moving the YRoT-safety frontier on the say-so of a load that never
+// happened architecturally.
+func (c *Core) pruneNonSpecLoadQ(limit uint64) {
+	live := c.nonSpecLoadQ[:0]
+	for _, ld := range c.nonSpecLoadQ {
+		if ld.seq <= limit && ld.state != stateSquashed {
+			live = append(live, ld)
+		} else {
+			ld.inNonSpecQ = false
+			if ld.dead {
+				c.pool = append(c.pool, ld)
+			}
+		}
+	}
+	c.nonSpecLoadQ = live
 }
 
 func (c *Core) filterIQ() {
@@ -520,6 +601,12 @@ func (c *Core) filterIQ() {
 // ---------------------------------------------------------------------------
 // Issue
 
+// issueStage selects ready uops in age order. Readiness comes from the
+// scoreboard: each entry carries its operands' announced readiness times
+// (src1ReadyAt/src2ReadyAt, refreshed by physRegFile wakeups), so the scan
+// is integer compares — no per-operand register-file polling. Entries
+// whose operands have not been announced carry neverReady and are skipped
+// until their wakeup fires.
 func (c *Core) issueStage() {
 	slots := c.cfg.IssueWidth
 	memPorts := c.cfg.MemPorts
@@ -527,38 +614,53 @@ func (c *Core) issueStage() {
 	mulUnits := 1
 	divFree := c.divBusyUntil <= c.cycle
 
-	keep := make([]*uop, 0, len(c.iq))
-	for _, u := range c.iq {
+	// The queue compacts in place, writing an entry only when something
+	// ahead of it actually left: on an all-stalled cycle the scan stores
+	// nothing at all (pointer stores cost GC write barriers).
+	iq := c.iq
+	w := 0
+	for i, u := range iq {
 		if u.state == stateSquashed {
 			continue
 		}
-		if slots <= 0 {
-			keep = append(keep, u)
-			continue
+		kept := true
+		if slots > 0 {
+			switch cls := u.class(); cls {
+			case isa.ClassStore:
+				c.issueStoreParts(u, &slots, &memPorts)
+				kept = !(u.addrIssued && u.dataIssued)
+			case isa.ClassLoad:
+				// Not-ready fast path: the full attempt's own readiness
+				// short-circuit fires before any side effect, so skipping
+				// here is equivalent and keeps the scheme hooks cold.
+				if u.retryAt <= c.cycle && u.src1ReadyAt <= c.cycle {
+					kept = !c.issueLoad(u, &slots, &memPorts)
+				}
+			default:
+				if u.src1ReadyAt <= c.cycle && u.src2ReadyAt <= c.cycle {
+					kept = !c.issueSimple(u, cls, &slots, &aluUnits, &mulUnits, &divFree)
+				}
+			}
 		}
-		switch {
-		case u.isStore():
-			c.issueStoreParts(u, &slots, &memPorts)
-			if !(u.addrIssued && u.dataIssued) {
-				keep = append(keep, u)
+		if kept {
+			if w != i {
+				iq[w] = u
 			}
-		case u.isLoad():
-			if !c.issueLoad(u, &slots, &memPorts) {
-				keep = append(keep, u)
-			}
-		default:
-			if !c.issueSimple(u, &slots, &aluUnits, &mulUnits, &divFree) {
-				keep = append(keep, u)
-			}
+			w++
 		}
 	}
-	c.iq = keep
+	if w != len(iq) {
+		for i := w; i < len(iq); i++ {
+			iq[i] = nil // drop issued/squashed uop references
+		}
+		c.iq = iq[:w]
+	}
 }
 
 // issueStoreParts attempts the address and data halves of a store.
 func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 	if !u.addrIssued && *slots > 0 && *memPorts > 0 && u.retryAt <= c.cycle &&
-		c.prf.readyBy(u.ps1, c.cycle) && c.sch.canSelect(u, partStoreAddr) {
+		u.src1ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreAddr) {
 		*slots--
 		if c.sch.onIssue(u, partStoreAddr) {
 			*memPorts--
@@ -566,32 +668,34 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 			u.addr = c.prf.read(u.ps1) + uint64(u.inst.Imm)
 			u.addrDoneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
 			c.Stats.IssuedUops++
-			c.markExecuting(u)
+			c.schedule(u, u.addrDoneAt, evStoreAddr)
 		}
 	}
-	if !u.dataIssued && *slots > 0 && c.prf.readyBy(u.ps2, c.cycle) && c.sch.canSelect(u, partStoreData) {
+	if !u.dataIssued && *slots > 0 && u.src2ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreData) {
 		*slots--
 		if c.sch.onIssue(u, partStoreData) {
 			u.dataIssued = true
 			u.result = c.prf.read(u.ps2)
 			u.dataDoneAt = c.cycle + c.cfg.ExecDelay + 1
 			c.Stats.IssuedUops++
-			c.markExecuting(u)
+			c.schedule(u, u.dataDoneAt, evStoreData)
 		}
 	}
 }
 
-func (c *Core) markExecuting(u *uop) {
+// schedule enqueues a completion event for u's issued part and moves the
+// uop out of the waiting state.
+func (c *Core) schedule(u *uop, at uint64, kind evKind) {
 	if u.state == stateWaiting {
 		u.state = stateExecuting
-		c.exec = append(c.exec, u)
 	}
+	c.events.push(event{at: at, seq: u.seq, kind: kind, u: u})
 }
 
 // issueLoad attempts a load; it reports whether the uop left the queue.
 func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 	if *memPorts <= 0 || u.retryAt > c.cycle ||
-		!c.prf.readyBy(u.ps1, c.cycle) || !c.sch.canSelect(u, partWhole) {
+		u.src1ReadyAt > c.cycle || !c.sch.canSelect(u, partWhole) {
 		return false
 	}
 	*slots--
@@ -637,16 +741,17 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		c.Stats.SpecLoadsExecuted++
 	}
 	if u.pd != noReg && c.sch.specWakeup(c.cfg.SpecWakeup) {
-		c.prf.readyAt[u.pd] = u.doneAt
+		c.prf.announce(u.pd, u.doneAt)
 	}
-	c.markExecuting(u)
+	c.schedule(u, u.doneAt, evDone)
 	return true
 }
 
 // issueSimple handles ALU, MUL, DIV, branch, and jump micro-ops; it
-// reports whether the uop left the queue.
-func (c *Core) issueSimple(u *uop, slots, aluUnits, mulUnits *int, divFree *bool) bool {
-	switch u.class() {
+// reports whether the uop left the queue. The caller passes the decoded
+// class and has already established operand readiness.
+func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int, divFree *bool) bool {
+	switch cls {
 	case isa.ClassMul:
 		if *mulUnits <= 0 {
 			return false
@@ -660,8 +765,7 @@ func (c *Core) issueSimple(u *uop, slots, aluUnits, mulUnits *int, divFree *bool
 			return false
 		}
 	}
-	if !c.prf.readyBy(u.ps1, c.cycle) || !c.prf.readyBy(u.ps2, c.cycle) ||
-		!c.sch.canSelect(u, partWhole) {
+	if !c.sch.canSelect(u, partWhole) {
 		return false
 	}
 	*slots--
@@ -670,7 +774,7 @@ func (c *Core) issueSimple(u *uop, slots, aluUnits, mulUnits *int, divFree *bool
 	}
 	a, b := c.prf.read(u.ps1), c.prf.read(u.ps2)
 	var lat uint64
-	switch u.class() {
+	switch cls {
 	case isa.ClassMul:
 		*mulUnits--
 		lat = c.cfg.MulLat
@@ -717,15 +821,34 @@ func (c *Core) issueSimple(u *uop, slots, aluUnits, mulUnits *int, divFree *bool
 		// as soon as readyAt, which can precede the (possibly delayed)
 		// writeback event.
 		c.prf.value[u.pd] = u.result
-		c.prf.readyAt[u.pd] = c.cycle + lat
+		c.prf.announce(u.pd, c.cycle+lat)
 	}
 	c.Stats.IssuedUops++
-	c.markExecuting(u)
+	c.schedule(u, u.doneAt, evDone)
 	return true
 }
 
 // ---------------------------------------------------------------------------
 // Rename
+
+// watchOperands caches the operands' readiness times in the issue-queue
+// entry and registers wakeup watches for operands whose producers have
+// not yet announced a completion time. From here on, readiness updates
+// flow to the entry through physRegFile.announce.
+func (c *Core) watchOperands(u *uop) {
+	if u.ps1 != noReg {
+		u.src1ReadyAt = c.prf.readyAt[u.ps1]
+		if u.src1ReadyAt == neverReady {
+			c.prf.watch(u.ps1, u)
+		}
+	}
+	if u.ps2 != noReg {
+		u.src2ReadyAt = c.prf.readyAt[u.ps2]
+		if u.src2ReadyAt == neverReady && u.ps2 != u.ps1 {
+			c.prf.watch(u.ps2, u)
+		}
+	}
+}
 
 func (c *Core) renameStage() {
 	for n := 0; n < c.cfg.Width; n++ {
@@ -761,10 +884,12 @@ func (c *Core) renameStage() {
 		}
 		c.fe.consume()
 		c.seqCtr++
-		u := &uop{
+		u := c.allocUop()
+		*u = uop{
 			seq:         c.seqCtr,
 			pc:          e.pc,
 			inst:        in,
+			cls:         cls + 1,
 			pd:          noReg,
 			stalePd:     noReg,
 			ps1:         noReg,
@@ -814,6 +939,7 @@ func (c *Core) renameStage() {
 			u.taken = true
 			u.target = e.predTarget
 		default:
+			c.watchOperands(u)
 			c.iq = append(c.iq, u)
 		}
 		if u.isLoad() {

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+// TestSquashedLoadNeverAdvancesSafeSeq asserts the YRoT-safety invariant:
+// a squashed wrong-path load sitting in the pending broadcast queue must
+// not move curSafeSeq when the queue drains. Only live loads broadcast,
+// and stale entries burn no broadcast port.
+func TestSquashedLoadNeverAdvancesSafeSeq(t *testing.T) {
+	cfg := MegaConfig()
+	cfg.MemPorts = 1
+	c := MustNew(cfg, KindBaseline, sumProgram(4))
+
+	dead := &uop{seq: 10, inst: isa.Inst{Op: isa.Ld}, state: stateSquashed, nonSpec: true}
+	stale := &uop{seq: 11, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, broadcasted: true, pd: noReg}
+	live := &uop{seq: 12, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, dead, stale, live)
+
+	c.vpStage()
+
+	if c.curSafeSeq == 10 || c.curSafeSeq == 11 {
+		t.Fatalf("safety frontier advanced by a dead or stale load: curSafeSeq %d", c.curSafeSeq)
+	}
+	// With one broadcast port, the two stale entries must not have eaten
+	// the slot: the live load behind them broadcasts this very cycle.
+	if c.curSafeSeq != 12 {
+		t.Fatalf("live load not broadcast past stale entries: curSafeSeq %d, want 12", c.curSafeSeq)
+	}
+	if c.Stats.YRoTBroadcasts != 1 {
+		t.Fatalf("YRoTBroadcasts %d, want 1 (stale entries must not broadcast)", c.Stats.YRoTBroadcasts)
+	}
+	if len(c.nonSpecLoadQ) != 0 {
+		t.Fatalf("queue not drained: %d entries left", len(c.nonSpecLoadQ))
+	}
+}
+
+// TestBroadcastPortNotBurnedByStaleEntries pins the port-accounting fix:
+// an entry already broadcast at commit is skipped for free, so a fresh
+// load behind it still gets the cycle's single port.
+func TestBroadcastPortNotBurnedByStaleEntries(t *testing.T) {
+	cfg := MegaConfig()
+	cfg.MemPorts = 1
+	c := MustNew(cfg, KindBaseline, sumProgram(4))
+
+	stale := &uop{seq: 5, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, broadcasted: true, pd: noReg}
+	fresh1 := &uop{seq: 6, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
+	fresh2 := &uop{seq: 7, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, stale, fresh1, fresh2)
+
+	c.vpStage()
+
+	if !fresh1.broadcasted {
+		t.Fatal("stale entry consumed the broadcast port; fresh load was starved")
+	}
+	if fresh2.broadcasted {
+		t.Fatal("two broadcasts on a single-port cycle")
+	}
+	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0] != fresh2 {
+		t.Fatalf("queue should hold only the second fresh load, got %d entries", len(c.nonSpecLoadQ))
+	}
+}
+
+// TestPruneNonSpecLoadQOnBranchSquash pins squashAfterBranch's pruning of
+// the pending broadcast queue: entries younger than the squashing branch,
+// and squashed entries of any age, are dropped.
+func TestPruneNonSpecLoadQOnBranchSquash(t *testing.T) {
+	c := MustNew(MegaConfig(), KindBaseline, sumProgram(4))
+
+	older := &uop{seq: 1, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
+	squashed := &uop{seq: 3, inst: isa.Inst{Op: isa.Ld}, state: stateSquashed, nonSpec: true, pd: noReg}
+	younger := &uop{seq: 9, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, older, squashed, younger)
+
+	c.pruneNonSpecLoadQ(6)
+
+	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0] != older {
+		t.Fatalf("prune kept %d entries, want only the older live load", len(c.nonSpecLoadQ))
+	}
+}
+
+// loopExitProgram runs a counted loop whose backward branch is taken n-1
+// times and then commits not-taken once at the exit.
+func loopExitProgram(n int64) (*isa.Program, uint64) {
+	b := isa.NewBuilder("loopexit")
+	b.Li(isa.X5, 0)
+	b.Li(isa.X6, n)
+	b.Label("loop")
+	b.Addi(isa.X5, isa.X5, 1)
+	b.Blt(isa.X5, isa.X6, "loop")
+	b.Halt()
+	p := b.MustBuild()
+	for pc := uint64(0); pc < uint64(p.Len()); pc++ {
+		if isa.ClassOf(p.At(pc).Op) == isa.ClassBranch {
+			return p, pc
+		}
+	}
+	panic("loopExitProgram: no branch found")
+}
+
+// TestBTBRetrainsOnNotTakenCommit pins the loop-exit fix: once the loop
+// branch commits not-taken, its stale taken-target BTB entry is
+// invalidated instead of forcing predicted-taken redirects forever.
+func TestBTBRetrainsOnNotTakenCommit(t *testing.T) {
+	p, branchPC := loopExitProgram(50)
+	c := MustNew(MegaConfig(), KindBaseline, p)
+	if _, err := c.Run(RunLimits{MaxCycles: 100_000}); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+	if _, _, _, hit := c.fe.btb.Lookup(branchPC); hit {
+		t.Fatalf("BTB still holds the stale taken-target entry for the exited loop branch at pc %d", branchPC)
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+// The completion-event queue behind the event-driven writeback stage.
+//
+// The original writeback walked and re-sorted every in-flight uop every
+// cycle; with a fixed measurement window of tens of thousands of cycles
+// per matrix cell, that per-cycle constant dominated simulator throughput.
+// Instead, every issued uop (or store half) schedules one completion event
+// at the cycle its result becomes architecturally visible, and writeback
+// pops exactly the events due this cycle.
+//
+// Events for squashed uops are not removed eagerly: they surface at their
+// fire time and are discarded, which is why squashed uops are never
+// recycled through the rename pool (see freeUop).
+
+// evKind selects what completes when an event fires.
+type evKind uint8
+
+const (
+	evDone      evKind = iota // non-store uop: result available
+	evStoreAddr               // store: address half completes
+	evStoreData               // store: data half completes
+)
+
+// event is one scheduled completion.
+type event struct {
+	at   uint64 // cycle the event fires
+	seq  uint64 // owner's age; orders same-cycle events oldest-first
+	kind evKind
+	u    *uop
+}
+
+// eventQueue is a binary min-heap ordered by (at, seq). Because every
+// event is scheduled strictly in the future and writeback drains the queue
+// every cycle, all events due at once share the same fire cycle, so pops
+// come out in program order — exactly the order the sort-based writeback
+// processed them in.
+type eventQueue struct {
+	h []event
+}
+
+func (q *eventQueue) empty() bool { return len(q.h) == 0 }
+
+// clear drops every pending event (full-pipeline flush).
+func (q *eventQueue) clear() {
+	for i := range q.h {
+		q.h[i] = event{}
+	}
+	q.h = q.h[:0]
+}
+
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.h[i], &q.h[j]
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}
+
+// push schedules an event.
+func (q *eventQueue) push(e event) {
+	q.h = append(q.h, e)
+	i := len(q.h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+// due pops the oldest pending event if it fires at or before now.
+func (q *eventQueue) due(now uint64) (event, bool) {
+	if len(q.h) == 0 || q.h[0].at > now {
+		return event{}, false
+	}
+	e := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = event{} // drop the uop reference for the garbage collector
+	q.h = q.h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(q.h) && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(q.h) && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		q.h[i], q.h[smallest] = q.h[smallest], q.h[i]
+		i = smallest
+	}
+	return e, true
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestEventQueueOrdering pins the heap's (at, seq) ordering: pops come out
+// by fire cycle, and same-cycle events in program order — the property the
+// writeback stage relies on to process completions oldest-first.
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	u := &uop{}
+	for _, e := range []event{
+		{at: 9, seq: 3, u: u},
+		{at: 5, seq: 7, u: u},
+		{at: 5, seq: 2, u: u},
+		{at: 12, seq: 1, u: u},
+		{at: 5, seq: 4, u: u},
+	} {
+		q.push(e)
+	}
+	if _, ok := q.due(4); ok {
+		t.Fatal("nothing fires before cycle 5")
+	}
+	var got []uint64
+	for {
+		e, ok := q.due(9)
+		if !ok {
+			break
+		}
+		got = append(got, e.seq)
+	}
+	want := []uint64{2, 4, 7, 3}
+	if len(got) != len(want) {
+		t.Fatalf("popped %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("popped %v, want %v", got, want)
+		}
+	}
+	if e, ok := q.due(12); !ok || e.seq != 1 {
+		t.Fatalf("final event = %+v ok=%v, want seq 1", e, ok)
+	}
+	if !q.empty() {
+		t.Fatal("queue should be empty")
+	}
+}
+
+// TestROBForEachFrom pins the visibility-point cursor walk: resuming at an
+// offset skips the visited prefix, a refusal returns the blocking offset,
+// and a full pass returns the count.
+func TestROBForEachFrom(t *testing.T) {
+	r := newROB(8)
+	for i := uint64(1); i <= 5; i++ {
+		r.push(&uop{seq: i})
+	}
+	var seen []uint64
+	off := r.forEachFrom(0, func(u *uop) bool {
+		if u.seq == 3 {
+			return false
+		}
+		seen = append(seen, u.seq)
+		return true
+	})
+	if off != 2 || len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
+		t.Fatalf("walk stopped at off %d after %v", off, seen)
+	}
+	// Resume past the blocker once it clears.
+	seen = seen[:0]
+	off = r.forEachFrom(off, func(u *uop) bool { seen = append(seen, u.seq); return true })
+	if off != r.len() || len(seen) != 3 || seen[0] != 3 {
+		t.Fatalf("resumed walk: off %d, seen %v", off, seen)
+	}
+	// Offsets survive head pops (the caller shifts them down) and work
+	// across the ring seam.
+	r.pop()
+	r.pop()
+	r.push(&uop{seq: 6})
+	r.push(&uop{seq: 7})
+	seen = seen[:0]
+	off = r.forEachFrom(3, func(u *uop) bool { seen = append(seen, u.seq); return true })
+	if off != r.len() || len(seen) != 2 || seen[0] != 6 || seen[1] != 7 {
+		t.Fatalf("wrapped walk: off %d, seen %v", off, seen)
+	}
+}
+
+// TestUopPoolRecycles asserts the rename pool actually recycles committed
+// uops: after a run, rename must have reused pooled uops instead of
+// allocating one per rename.
+func TestUopPoolRecycles(t *testing.T) {
+	c := MustNew(MegaConfig(), KindBaseline, sumProgram(200))
+	res, err := c.Run(RunLimits{MaxCycles: 100_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted {
+		t.Fatal("did not halt")
+	}
+	if len(c.pool) == 0 {
+		t.Fatal("rename pool empty after a full run; commit is not recycling uops")
+	}
+	// Far fewer live uops than renames: the pool bounds allocations by
+	// pipeline depth, not instruction count.
+	if got := len(c.pool); uint64(got) >= res.Insts {
+		t.Fatalf("pool holds %d uops for %d committed instructions; recycling is not bounding allocations", got, res.Insts)
+	}
+}

@@ -12,12 +12,18 @@ type physRegFile struct {
 	value   []uint64
 	readyAt []uint64 // first cycle a consumer may issue using the value
 	free    []int    // LIFO free list
+
+	// waiters holds, per register, the issue-queue uops whose cached
+	// operand-readiness is pending this register's announcement — the
+	// scoreboard's wakeup port.
+	waiters [][]*uop
 }
 
 func newPhysRegFile(n int) *physRegFile {
 	p := &physRegFile{
 		value:   make([]uint64, n),
 		readyAt: make([]uint64, n),
+		waiters: make([][]*uop, n),
 	}
 	// Physical registers 0..31 initially back the architectural registers
 	// and are ready with value zero; the rest are free.
@@ -55,6 +61,49 @@ func (p *physRegFile) release(r int) {
 // cycle now. The noReg pseudo-source (x0 or unused) is always ready.
 func (p *physRegFile) readyBy(r int, now uint64) bool {
 	return r == noReg || p.readyAt[r] <= now
+}
+
+// watch registers u as a waiter on r's readiness announcement.
+func (p *physRegFile) watch(r int, u *uop) {
+	p.waiters[r] = append(p.waiters[r], u)
+}
+
+// announce publishes the cycle at which register r's value may feed a
+// consumer and wakes the issue-queue entries waiting on it. A register's
+// readyAt is written exactly once between alloc and release — every
+// producer path (issue-time wakeup, writeback broadcast, NDA's delayed
+// broadcast) announces exactly once — so a waiter list drains exactly
+// once per allocation. Squashed waiters may linger in a list; the update
+// to them is harmless because squashed uops never return to the rename
+// pool while referenced.
+func (p *physRegFile) announce(r int, at uint64) {
+	p.readyAt[r] = at
+	ws := p.waiters[r]
+	if len(ws) == 0 {
+		return
+	}
+	for i, u := range ws {
+		if u.ps1 == r {
+			u.src1ReadyAt = at
+		}
+		if u.ps2 == r {
+			u.src2ReadyAt = at
+		}
+		ws[i] = nil
+	}
+	p.waiters[r] = ws[:0]
+}
+
+// clearWaiters empties every wakeup list (full-pipeline flush: the whole
+// issue queue is gone).
+func (p *physRegFile) clearWaiters() {
+	for r := range p.waiters {
+		ws := p.waiters[r]
+		for i := range ws {
+			ws[i] = nil
+		}
+		p.waiters[r] = ws[:0]
+	}
 }
 
 // read returns the register value; noReg reads as zero (x0).

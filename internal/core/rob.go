@@ -58,6 +58,30 @@ func (r *rob) forEach(f func(u *uop) bool) {
 	}
 }
 
+// forEachFrom visits live uops oldest-first starting at the given offset
+// from the head, stopping when f returns false. It returns the offset of
+// the first unvisited uop — the resume point for the next cycle's walk.
+// The visibility-point stage uses this to resume from its last stall
+// point instead of re-walking (and re-skipping) the already-visited
+// prefix every cycle; the caller keeps the offset consistent across
+// commits (head pops shift it down) and squashes (tail truncation caps
+// it). Note that ROB sequence numbers are NOT contiguous across a branch
+// squash — squashed uops consumed sequence numbers and the refetched path
+// gets fresh ones — which is why the cursor is a position, not a seq.
+func (r *rob) forEachFrom(off int, f func(u *uop) bool) int {
+	if off < 0 {
+		off = 0
+	}
+	i := (r.head + off) % len(r.entries)
+	for n := off; n < r.count; n++ {
+		if !f(r.entries[i]) {
+			return n
+		}
+		i = (i + 1) % len(r.entries)
+	}
+	return r.count
+}
+
 // squashYoungerThan removes all uops with seq > limit, youngest-first,
 // invoking reclaim on each before removal. It returns the number squashed.
 func (r *rob) squashYoungerThan(limit uint64, reclaim func(u *uop)) int {

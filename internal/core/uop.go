@@ -27,6 +27,12 @@ type uop struct {
 	seq  uint64 // global age; assigned at rename
 	pc   uint64
 	inst isa.Inst
+	// cls memoizes inst.Op's class, biased by +1 so the zero value means
+	// "not yet decoded": rename pre-decodes, hand-built uops (tests)
+	// decode on first use. The issue and writeback loops consult the
+	// class several times per uop per cycle, so the ClassOf switch is too
+	// hot to re-run there.
+	cls isa.Class
 
 	// Rename state.
 	pd      int // physical destination, noReg if none
@@ -73,6 +79,19 @@ type uop struct {
 	// Speculation state.
 	nonSpec bool // passed the visibility point (bound to commit)
 
+	// Issue-scoreboard state: each operand's readiness time, cached at
+	// rename and refreshed by the register file's wakeup announcement, so
+	// the issue scan compares integers instead of re-polling readyAt per
+	// operand per cycle. Zero (always ready) covers the noReg pseudo-
+	// source; neverReady marks a producer that has not yet announced.
+	src1ReadyAt uint64
+	src2ReadyAt uint64
+
+	// Pool lifecycle (see freeUop): a committed uop may still be
+	// referenced by a stale pending-broadcast queue entry.
+	inNonSpecQ bool // currently queued for the bounded broadcast
+	dead       bool // committed while still queued; recycle at the drain
+
 	// Secure-scheme state.
 	yrot        int64 // STT-Rename: YRoT computed at rename
 	yrotAddr    int64 // split-store-taint ablation: address-half YRoT
@@ -81,8 +100,13 @@ type uop struct {
 	wasNopped   bool  // STT-Issue: at least one issue slot was wasted
 }
 
-// class returns the uop's operation class.
-func (u *uop) class() isa.Class { return isa.ClassOf(u.inst.Op) }
+// class returns the uop's operation class (memoized; see cls).
+func (u *uop) class() isa.Class {
+	if u.cls == 0 {
+		u.cls = isa.ClassOf(u.inst.Op) + 1
+	}
+	return u.cls - 1
+}
 
 // isLoad reports whether the uop is a load.
 func (u *uop) isLoad() bool { return u.class() == isa.ClassLoad }

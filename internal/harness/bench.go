@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// The throughput reporter. Simulator speed — simulated cycles delivered
+// per wall-clock second — is the practical budget behind every experiment:
+// the paper's fixed-cycle-window methodology multiplies any per-cycle cost
+// by ~14M simulated cycles per full matrix. BENCH_core.json records each
+// measurement so the gain (or regression) of a core change lands in the
+// repository's performance trajectory; CI uploads it as an artifact.
+
+// BenchSchema identifies the BENCH_core.json layout.
+const BenchSchema = "shadowbinding-bench/v1"
+
+// BenchReport is one throughput measurement.
+type BenchReport struct {
+	// Label names the workload measured, e.g. "default-matrix-j1".
+	Label string `json:"label"`
+	// Cells is the number of (config, scheme, benchmark) runs covered.
+	Cells int `json:"cells"`
+	// SimCycles is the total simulated cycles executed (warmup included).
+	SimCycles uint64 `json:"sim_cycles"`
+	// WallSeconds is the wall-clock time the measurement took.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimCyclesPerSec is the headline throughput metric.
+	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
+	// Parallelism is the worker-pool size used (1 isolates core speed).
+	Parallelism int `json:"parallelism"`
+}
+
+// NewBenchReport assembles a report from raw counters. parallelism is
+// normalized the way the worker pool resolves it — zero or negative means
+// all CPUs, and a pool never runs wider than it has cells — so the
+// recorded j-field reflects the workers actually used.
+func NewBenchReport(label string, cells int, simCycles uint64, wall time.Duration, parallelism int) BenchReport {
+	if parallelism <= 0 {
+		parallelism = runtime.NumCPU()
+	}
+	if cells > 0 && parallelism > cells {
+		parallelism = cells
+	}
+	r := BenchReport{
+		Label:       label,
+		Cells:       cells,
+		SimCycles:   simCycles,
+		WallSeconds: wall.Seconds(),
+		Parallelism: parallelism,
+	}
+	if r.WallSeconds > 0 {
+		r.SimCyclesPerSec = float64(simCycles) / r.WallSeconds
+	}
+	return r
+}
+
+// String renders the report as a one-line human summary.
+func (r BenchReport) String() string {
+	return fmt.Sprintf("%s: %d cells, %d simulated cycles in %.2fs = %.0f simCycles/s (j=%d)",
+		r.Label, r.Cells, r.SimCycles, r.WallSeconds, r.SimCyclesPerSec, r.Parallelism)
+}
+
+// BenchFile is the on-disk layout of BENCH_core.json: the individual runs
+// plus their aggregate throughput.
+type BenchFile struct {
+	Schema          string        `json:"schema"`
+	Runs            []BenchReport `json:"runs"`
+	SimCycles       uint64        `json:"sim_cycles"`
+	WallSeconds     float64       `json:"wall_seconds"`
+	SimCyclesPerSec float64       `json:"sim_cycles_per_sec"`
+}
+
+// WriteBenchReport writes one or more reports to path as BENCH_core.json.
+func WriteBenchReport(path string, runs ...BenchReport) error {
+	f := BenchFile{Schema: BenchSchema, Runs: runs}
+	for _, r := range runs {
+		f.SimCycles += r.SimCycles
+		f.WallSeconds += r.WallSeconds
+	}
+	if f.WallSeconds > 0 {
+		f.SimCyclesPerSec = float64(f.SimCycles) / f.WallSeconds
+	}
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal bench report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadBenchReport loads a BENCH_core.json file.
+func ReadBenchReport(path string) (BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return BenchFile{}, err
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return BenchFile{}, fmt.Errorf("harness: parse %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// TotalSimCycles sums the simulated cycles (warmup + measurement) behind
+// every run in the matrix.
+func (m *Matrix) TotalSimCycles() uint64 {
+	var total uint64
+	for _, row := range m.cells {
+		for _, cell := range row {
+			for _, r := range cell.Runs {
+				total += r.TotalCycles
+			}
+		}
+	}
+	return total
+}
+
+// NumRuns returns the number of (config, scheme, benchmark) cells.
+func (m *Matrix) NumRuns() int {
+	return len(m.Configs) * len(m.Schemes) * len(m.Benches)
+}

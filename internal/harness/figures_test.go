@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// goldenMatrix is the tiny 2-benchmark matrix behind the figure-emitter
+// golden tests: all four Table 1 configurations, every registered scheme,
+// one memory-bound and one high-ILP proxy, short fixed windows. Small
+// enough to run in under a second, rich enough that every emitter path
+// (normalization, trends, per-scheme columns) renders real numbers.
+//
+// These goldens double as the byte-identical oracle for scheduler and
+// pipeline refactors: a perf-only change to internal/core must leave every
+// golden untouched.
+var (
+	goldenOnce sync.Once
+	goldenM    *Matrix
+	goldenErr  error
+)
+
+func goldenMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	goldenOnce.Do(func() {
+		var benches []workloads.Profile
+		for _, name := range []string{"505.mcf", "525.x264"} {
+			p, err := workloads.ByName(name)
+			if err != nil {
+				goldenErr = err
+				return
+			}
+			benches = append(benches, p)
+		}
+		opts := DefaultOptions()
+		opts.WarmupCycles = 2_000
+		opts.MeasureCycles = 8_000
+		goldenM, goldenErr = RunMatrix(core.Configs(), core.SchemeKinds(), benches, opts)
+	})
+	if goldenErr != nil {
+		t.Fatal(goldenErr)
+	}
+	return goldenM
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s output diverged from golden; if the model change is intentional, regenerate with -update\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestTable1Golden(t *testing.T) {
+	checkGolden(t, "table1", Table1(goldenMatrix(t)))
+}
+
+func TestFigure6Golden(t *testing.T) {
+	checkGolden(t, "figure6", Figure6(goldenMatrix(t)))
+}
+
+func TestFigure7Golden(t *testing.T) {
+	checkGolden(t, "figure7", Figure7(goldenMatrix(t)))
+}

@@ -54,6 +54,11 @@ type Run struct {
 	Insts  uint64
 	IPC    float64
 	Stats  core.Stats
+
+	// TotalCycles is the cell's full simulated cycle count, warmup
+	// included (Cycles covers the measured window only); the throughput
+	// reporter sums it for simulated-cycles-per-second accounting.
+	TotalCycles uint64
 }
 
 // RunOne simulates one cell of the evaluation matrix: warmup, then a fixed
@@ -81,13 +86,14 @@ func RunOne(cfg core.Config, kind core.SchemeKind, prof workloads.Profile, opts 
 	cycles := res.Cycles - warm.Cycles
 	insts := res.Insts - warm.Insts
 	return Run{
-		Bench:  prof.Name,
-		Config: cfg.Name,
-		Scheme: kind,
-		Cycles: cycles,
-		Insts:  insts,
-		IPC:    float64(insts) / float64(cycles),
-		Stats:  res.Stats,
+		Bench:       prof.Name,
+		Config:      cfg.Name,
+		Scheme:      kind,
+		Cycles:      cycles,
+		Insts:       insts,
+		IPC:         float64(insts) / float64(cycles),
+		Stats:       res.Stats,
+		TotalCycles: res.Cycles,
 	}, nil
 }
 

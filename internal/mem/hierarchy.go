@@ -47,6 +47,10 @@ type Hierarchy struct {
 	pf  *StridePrefetcher
 
 	mshrs []mshr
+	// mshrMinDone is the earliest completion among live MSHRs; expiry
+	// skips the filter entirely until that cycle arrives, instead of
+	// re-filtering the slice on every access.
+	mshrMinDone uint64
 
 	// Statistics.
 	Loads         uint64
@@ -84,13 +88,21 @@ func (h *Hierarchy) L1D() *Cache { return h.l1d }
 func (h *Hierarchy) L2() *Cache { return h.l2 }
 
 func (h *Hierarchy) expire(now uint64) {
+	if len(h.mshrs) == 0 || now < h.mshrMinDone {
+		return // nothing can have completed yet
+	}
 	live := h.mshrs[:0]
+	minDone := ^uint64(0)
 	for _, m := range h.mshrs {
 		if m.done > now {
 			live = append(live, m)
+			if m.done < minDone {
+				minDone = m.done
+			}
 		}
 	}
 	h.mshrs = live
+	h.mshrMinDone = minDone
 }
 
 // Load performs a demand load access for the load at pc to addr at cycle
@@ -138,6 +150,9 @@ func (h *Hierarchy) Load(pc, addr, now uint64) (done uint64, hitL1, accepted boo
 	done = l2Avail + h.cfg.L1D.FillLat
 	h.l1d.Fill(line, done, false)
 	h.mshrs = append(h.mshrs, mshr{line: line, done: done})
+	if len(h.mshrs) == 1 || done < h.mshrMinDone {
+		h.mshrMinDone = done
+	}
 	h.train(pc, line, now)
 	return done, false, true
 }

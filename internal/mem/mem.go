@@ -11,29 +11,89 @@
 // model independent of value forwarding, which the LSU handles.
 package mem
 
+import mathbits "math/bits"
+
+// Memory is paged: a sparse map of fixed-size pages with a one-entry
+// page cache in front of it. Loads are the single hottest data access in
+// the simulator (every issued load reads Main), and the page cache turns
+// the per-access hash lookup into a shift-and-compare for the common
+// locality-heavy case.
+const (
+	pageWords = 512                   // 64-bit words per page (4 KiB)
+	pageShift = 12                    // log2(pageWords * 8): address bits below the page key
+	wordMask  = uint64(pageWords - 1) // word index within a page
+)
+
+type memPage struct {
+	words   [pageWords]uint64
+	written [pageWords / 64]uint64 // per-word dirty bits (Footprint)
+}
+
 // Main is the architectural data memory: an aligned 64-bit word store.
 // Reads of unwritten locations return zero.
 type Main struct {
-	words map[uint64]uint64
+	pages   map[uint64]*memPage
+	lastKey uint64
+	last    *memPage
 }
 
-// NewMain returns an empty main memory.
+// NewMain returns an empty main memory. The page map is pre-sized for a
+// typical proxy-benchmark footprint so image loading doesn't grow it
+// repeatedly.
 func NewMain() *Main {
-	return &Main{words: make(map[uint64]uint64)}
+	return &Main{pages: make(map[uint64]*memPage, 64)}
+}
+
+// pageFor returns addr's page, allocating it when alloc is set; a nil
+// return means the page has never been written.
+func (m *Main) pageFor(addr uint64, alloc bool) *memPage {
+	key := addr >> pageShift
+	if m.last != nil && key == m.lastKey {
+		return m.last
+	}
+	p := m.pages[key]
+	if p == nil {
+		if !alloc {
+			return nil
+		}
+		p = new(memPage)
+		m.pages[key] = p
+	}
+	m.lastKey, m.last = key, p
+	return p
 }
 
 // LoadImage installs an address→word image, e.g. a Program's initial data.
 func (m *Main) LoadImage(img map[uint64]uint64) {
 	for a, w := range img {
-		m.words[a&^7] = w
+		m.Write(a, w)
 	}
 }
 
 // Read returns the word at the (aligned) address.
-func (m *Main) Read(addr uint64) uint64 { return m.words[addr&^7] }
+func (m *Main) Read(addr uint64) uint64 {
+	p := m.pageFor(addr, false)
+	if p == nil {
+		return 0
+	}
+	return p.words[(addr>>3)&wordMask]
+}
 
 // Write stores a word at the (aligned) address.
-func (m *Main) Write(addr, val uint64) { m.words[addr&^7] = val }
+func (m *Main) Write(addr, val uint64) {
+	p := m.pageFor(addr, true)
+	i := (addr >> 3) & wordMask
+	p.words[i] = val
+	p.written[i/64] |= 1 << (i % 64)
+}
 
 // Footprint returns the number of distinct words ever written.
-func (m *Main) Footprint() int { return len(m.words) }
+func (m *Main) Footprint() int {
+	n := 0
+	for _, p := range m.pages {
+		for _, bits := range p.written {
+			n += mathbits.OnesCount64(bits)
+		}
+	}
+	return n
+}

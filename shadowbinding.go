@@ -61,6 +61,15 @@ type (
 	AttackResult = attack.Result
 	// TraceReport is a digested per-run KPI view.
 	TraceReport = trace.Report
+	// BenchReport is one simulator-throughput measurement (BENCH_core.json).
+	BenchReport = harness.BenchReport
+)
+
+// Throughput reporting (BENCH_core.json), backed by the harness.
+var (
+	NewBenchReport   = harness.NewBenchReport
+	WriteBenchReport = harness.WriteBenchReport
+	ReadBenchReport  = harness.ReadBenchReport
 )
 
 // The four schemes (Section 7).
@@ -207,6 +216,18 @@ func NewEvaluationContext(ctx context.Context, schemes []Scheme, opts Options) (
 		return nil, err
 	}
 	return &Evaluation{Boom: boom, Gem5: gem5}, nil
+}
+
+// TotalSimCycles sums the simulated cycles behind both matrices (warmup
+// included) for throughput accounting.
+func (e *Evaluation) TotalSimCycles() uint64 {
+	return e.Boom.TotalSimCycles() + e.Gem5.TotalSimCycles()
+}
+
+// NumRuns returns the number of (config, scheme, benchmark) cells across
+// both matrices.
+func (e *Evaluation) NumRuns() int {
+	return e.Boom.NumRuns() + e.Gem5.NumRuns()
 }
 
 // Table/figure emitters; each returns the experiment rendered as text.
