@@ -9,6 +9,11 @@
 //	shadowbinding -experiment fig6 -measure 100000
 //	shadowbinding -experiment fig7 -schemes stt-issue,nda -j 4
 //	shadowbinding -experiment security
+//
+// Differential fuzzing (long offline campaigns and failure replay):
+//
+//	shadowbinding -fuzz 100000 -j 8          # campaign: 100k random programs
+//	shadowbinding -fuzz-seed 123 -fuzz-mask 0x2f   # replay one failure
 package main
 
 import (
@@ -34,7 +39,27 @@ func main() {
 		"comma-separated scheme filter (default all: "+strings.Join(sb.SchemeNames(), ",")+"); baseline is always included")
 	quiet := flag.Bool("q", false, "suppress progress output")
 	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the sweep to this path")
+	fuzzN := flag.Int("fuzz", 0, "run a differential fuzzing campaign of N generated programs (cross-checks every scheme against the architectural reference)")
+	fuzzSeed := flag.Uint64("fuzz-seed", 1, "base seed for -fuzz; without -fuzz, replay exactly one case (pair with -fuzz-mask)")
+	fuzzMask := flag.Uint64("fuzz-mask", 0, "feature mask for a single-case replay (0 = all features)")
 	flag.Parse()
+
+	fuzzFlagSet, experimentSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "fuzz", "fuzz-seed", "fuzz-mask":
+			fuzzFlagSet = true
+		case "experiment":
+			experimentSet = true
+		}
+	})
+	if fuzzFlagSet {
+		if experimentSet {
+			fatal(fmt.Errorf("-experiment cannot be combined with -fuzz/-fuzz-seed/-fuzz-mask"))
+		}
+		runFuzz(*fuzzN, *fuzzSeed, *fuzzMask, *parallel, *quiet)
+		return
+	}
 
 	if *experiment == "security" {
 		report, err := sb.SecurityReport()
@@ -97,6 +122,39 @@ func main() {
 		}
 		fmt.Println(report)
 	}
+}
+
+// runFuzz drives the differential fuzzing subsystem: a campaign of n
+// generated programs when n > 0, otherwise a single-case replay from a
+// failure message's (seed, mask) pair.
+func runFuzz(n int, seed, mask uint64, parallel int, quiet bool) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if n > 0 {
+		var progress func(format string, args ...any)
+		if !quiet {
+			progress = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		if err := sb.FuzzCampaign(ctx, seed, n, parallel, progress); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fuzz: %d cases passed (base seed %d, schemes %s)\n",
+			n, seed, strings.Join(sb.SchemeNames(), ","))
+		return
+	}
+
+	c := sb.FuzzCase{Seed: seed, Mask: sb.FuzzFeatureMask(mask)}
+	if c.Mask == 0 {
+		c.Mask = sb.FuzzFeatAll
+	}
+	if err := sb.ReplayFuzzCase(c); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fuzz: case %v passed on %s (schemes %s)\n",
+		c, sb.FuzzConfigForCase(c).Name, strings.Join(sb.SchemeNames(), ","))
 }
 
 func fatal(err error) {

@@ -41,10 +41,17 @@ func TestBaselineLeaks(t *testing.T) {
 	}
 }
 
-// TestSchemesBlockLeak verifies the paper's Section 7 claim: STT-Rename,
-// STT-Issue, and NDA all block Spectre v1.
+// TestSchemesBlockLeak verifies the paper's Section 7 claim over the
+// scheme registry: every registered secure scheme — the built-in
+// STT-Rename, STT-Issue, and NDA, plus any drop-in — must block Spectre
+// v1. Registering a scheme with Secure set is a promise this test
+// enforces automatically.
 func TestSchemesBlockLeak(t *testing.T) {
-	for _, kind := range []core.SchemeKind{core.KindSTTRename, core.KindSTTIssue, core.KindNDA} {
+	kinds := core.SecureSchemeKinds()
+	if len(kinds) < 3 {
+		t.Fatalf("only %d secure schemes registered, expected at least the paper's three", len(kinds))
+	}
+	for _, kind := range kinds {
 		r, err := RunSpectreV1(core.MegaConfig(), kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)

@@ -38,8 +38,11 @@ func TestSSBBaselineLeaks(t *testing.T) {
 	}
 }
 
+// TestSSBSchemesBlock is registry-driven like TestSchemesBlockLeak: every
+// registered secure scheme must block the store-bypass channel, so a new
+// drop-in scheme is attack-tested the moment it registers.
 func TestSSBSchemesBlock(t *testing.T) {
-	for _, kind := range []core.SchemeKind{core.KindSTTRename, core.KindSTTIssue, core.KindNDA} {
+	for _, kind := range core.SecureSchemeKinds() {
 		r, err := RunSpectreSSB(core.MegaConfig(), kind)
 		if err != nil {
 			t.Fatalf("%s: %v", kind, err)

@@ -69,6 +69,16 @@ type Core struct {
 	// tests use it to compare against the architectural reference model.
 	CommitHook func(isa.Commit)
 
+	// Probe, when set, receives security-relevant pipeline events (issue
+	// decisions and load ready broadcasts; see probe.go). Strictly
+	// observational: attaching a Probe must not perturb timing. The
+	// differential fuzzing oracle uses it to assert the schemes' security
+	// invariants.
+	Probe Probe
+	// taintQ caches the scheme's optional read-only taint view for the
+	// probe dispatch (nil for schemes that track no taint).
+	taintQ taintQuerier
+
 	Stats Stats
 }
 
@@ -104,6 +114,7 @@ func New(cfg Config, kind SchemeKind, prog *isa.Program) (*Core, error) {
 		return nil, err
 	}
 	c.sch = sch
+	c.taintQ, _ = sch.(taintQuerier)
 	c.main.LoadImage(prog.InitialMemory())
 	return c, nil
 }
@@ -134,6 +145,17 @@ func (c *Core) Cycle() uint64 { return c.cycle }
 
 // Halted reports whether the program's Halt has reached commit.
 func (c *Core) Halted() bool { return c.halted }
+
+// ArchReg returns the committed architectural value of register r: the
+// value the program observes for r at the current commit point. Wrong-path
+// and in-flight (uncommitted) writes are invisible, so after a halted run
+// this matches the in-order reference simulator.
+func (c *Core) ArchReg(r isa.Reg) uint64 {
+	if r == isa.X0 {
+		return 0
+	}
+	return c.prf.value[c.arat[r]]
+}
 
 // Step advances the machine by one cycle. Stages run back-to-front so an
 // instruction moves through at most one stage per cycle.
@@ -256,6 +278,9 @@ func (c *Core) commitStage() {
 				u.broadcastPending = false
 				if u.pd != noReg {
 					c.prf.announce(u.pd, c.cycle)
+					if c.Probe != nil {
+						c.probeBroadcast(u, c.cycle, false, true)
+					}
 				}
 			}
 		case isa.ClassStore:
@@ -409,6 +434,9 @@ func (c *Core) vpStage() {
 			// issue next cycle.
 			ld.broadcastPending = false
 			c.prf.announce(ld.pd, c.cycle+1)
+			if c.Probe != nil {
+				c.probeBroadcast(ld, c.cycle+1, false, true)
+			}
 		}
 	}
 }
@@ -485,8 +513,11 @@ func (c *Core) loadBroadcast(u *uop) {
 	if !c.sch.specWakeup(c.cfg.SpecWakeup) {
 		// Without speculative wakeup the broadcast follows writeback.
 		c.prf.announce(u.pd, c.cycle+1)
+		if c.Probe != nil {
+			c.probeBroadcast(u, c.cycle+1, !u.nonSpec, false)
+		}
 	}
-	// With speculative wakeup readyAt was announced at issue.
+	// With speculative wakeup readyAt was announced (and probed) at issue.
 }
 
 // resolveControl handles branch/jalr resolution, squashing on mispredict.
@@ -669,6 +700,9 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 			u.addrDoneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
 			c.Stats.IssuedUops++
 			c.schedule(u, u.addrDoneAt, evStoreAddr)
+			if c.Probe != nil {
+				c.probeIssue(u, partStoreAddr)
+			}
 		}
 	}
 	if !u.dataIssued && *slots > 0 && u.src2ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreData) {
@@ -679,6 +713,9 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 			u.dataDoneAt = c.cycle + c.cfg.ExecDelay + 1
 			c.Stats.IssuedUops++
 			c.schedule(u, u.dataDoneAt, evStoreData)
+			if c.Probe != nil {
+				c.probeIssue(u, partStoreData)
+			}
 		}
 	}
 }
@@ -742,8 +779,14 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 	}
 	if u.pd != noReg && c.sch.specWakeup(c.cfg.SpecWakeup) {
 		c.prf.announce(u.pd, u.doneAt)
+		if c.Probe != nil {
+			c.probeBroadcast(u, u.doneAt, !u.nonSpec, false)
+		}
 	}
 	c.schedule(u, u.doneAt, evDone)
+	if c.Probe != nil {
+		c.probeIssue(u, partWhole)
+	}
 	return true
 }
 
@@ -825,6 +868,9 @@ func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int
 	}
 	c.Stats.IssuedUops++
 	c.schedule(u, u.doneAt, evDone)
+	if c.Probe != nil {
+		c.probeIssue(u, partWhole)
+	}
 	return true
 }
 

@@ -1,0 +1,114 @@
+package core
+
+import "repro/internal/isa"
+
+// The observer hook API. A Probe receives the pipeline events that the
+// secure speculation schemes' correctness arguments are stated over: issue
+// decisions (did a transmitter issue, and was it tainted when it did?) and
+// load ready broadcasts (was a load's data made visible to dependents while
+// the load was still speculative?). The differential fuzzing oracle in
+// internal/diffsim attaches a Probe to assert the paper's security
+// invariants on every generated program.
+//
+// Probes are strictly observational: every hook fires after the pipeline
+// has committed to the decision being reported, carries copies of the
+// relevant state, and must not be able to perturb timing — the commit
+// stream of a run with a Probe attached is byte-identical to the same run
+// without one. When Core.Probe is nil the dispatch cost is a single pointer
+// compare per event site.
+
+// Probe observes security-relevant pipeline events.
+type Probe interface {
+	// OnIssue fires when a micro-op part wins selection and actually
+	// issues (after the scheme's canSelect and onIssue both passed).
+	OnIssue(ev IssueEvent)
+	// OnLoadBroadcast fires when a load's ready broadcast is released to
+	// dependents: at issue under speculative L1-hit wakeup, at writeback
+	// otherwise, or — under NDA's delayed broadcast — when the visibility
+	// point or commit releases a withheld broadcast.
+	OnLoadBroadcast(ev BroadcastEvent)
+}
+
+// IssuePart identifies which half of a store issued; everything else
+// issues whole.
+type IssuePart = issuePart
+
+// Issue parts reported by IssueEvent.
+const (
+	PartWhole     IssuePart = partWhole
+	PartStoreAddr IssuePart = partStoreAddr
+	PartStoreData IssuePart = partStoreData
+)
+
+// IssueEvent describes one issued micro-op part.
+type IssueEvent struct {
+	Cycle uint64
+	Seq   uint64 // program-order sequence number assigned at rename
+	PC    uint64
+	Op    isa.Op
+	Part  IssuePart
+	// Transmitter reports whether issuing this part has an observable,
+	// operand-dependent effect (Section 3.1).
+	Transmitter bool
+	// Speculative reports whether the micro-op had not yet passed the
+	// visibility point when it issued.
+	Speculative bool
+	// Tainted reports whether the active scheme considered the issuing
+	// part's operands tainted (rooted at an unsafe speculative load) at
+	// the moment of issue. Always false for schemes that do not track
+	// taint (baseline, NDA). An STT scheme issuing a Transmitter part
+	// with Tainted set has violated its own security argument.
+	Tainted bool
+}
+
+// BroadcastEvent describes one load ready broadcast.
+type BroadcastEvent struct {
+	Cycle uint64 // cycle at which dependents may consume the value
+	Seq   uint64
+	PC    uint64
+	// Speculative reports whether the load was still speculative (had not
+	// passed the visibility point or commit) when the broadcast was
+	// released. A scheme that delays load broadcasts (NDA) must never
+	// release a speculative broadcast.
+	Speculative bool
+	// Delayed reports whether the broadcast had been withheld by the
+	// scheme and was released by the visibility point or by commit.
+	Delayed bool
+}
+
+// taintQuerier is implemented by taint-tracking schemes to give the probe
+// dispatch a read-only view of the taint governing an issuing part. It is
+// queried only when a Probe is attached.
+type taintQuerier interface {
+	taintedPart(u *uop, part issuePart) bool
+}
+
+// probeIssue reports a successful issue to the attached Probe. Callers
+// check c.Probe != nil first so the nil case costs one compare.
+func (c *Core) probeIssue(u *uop, part issuePart) {
+	tainted := false
+	if c.taintQ != nil {
+		tainted = c.taintQ.taintedPart(u, part)
+	}
+	c.Probe.OnIssue(IssueEvent{
+		Cycle:       c.cycle,
+		Seq:         u.seq,
+		PC:          u.pc,
+		Op:          u.inst.Op,
+		Part:        part,
+		Transmitter: transmitterPart(u, part),
+		Speculative: !u.nonSpec,
+		Tainted:     tainted,
+	})
+}
+
+// probeBroadcast reports a load ready broadcast to the attached Probe.
+func (c *Core) probeBroadcast(u *uop, at uint64, speculative, delayed bool) {
+	c.Probe.OnLoadBroadcast(BroadcastEvent{
+		Cycle:       at,
+		Seq:         u.seq,
+		PC:          u.pc,
+		Speculative: speculative,
+		Delayed:     delayed,
+	})
+}

@@ -1,0 +1,70 @@
+package core
+
+import "testing"
+
+// countingProbe records event counts without inspecting them.
+type countingProbe struct {
+	issues, broadcasts int
+	taintedTransmit    int
+	specBroadcasts     int
+}
+
+func (p *countingProbe) OnIssue(ev IssueEvent) {
+	p.issues++
+	if ev.Transmitter && ev.Tainted {
+		p.taintedTransmit++
+	}
+}
+
+func (p *countingProbe) OnLoadBroadcast(ev BroadcastEvent) {
+	p.broadcasts++
+	if ev.Speculative {
+		p.specBroadcasts++
+	}
+}
+
+// probeBudget bounds the probe-test runs; hashedRun (the shared cell
+// runner in commitstream_test.go) does the hashing.
+const probeBudget = 10_000
+
+// TestProbeIsObservational pins the probe API's core contract: attaching
+// a probe must not perturb timing or architectural results — the commit
+// stream and cycle count with a probe are byte-identical to a run without
+// one, for every scheme.
+func TestProbeIsObservational(t *testing.T) {
+	cfg := MegaConfig()
+	for _, kind := range SchemeKinds() {
+		probe := &countingProbe{}
+		withHash, withCycles := hashedRun(t, cfg, kind, "505.mcf", probeBudget, probe)
+		bareHash, bareCycles := hashedRun(t, cfg, kind, "505.mcf", probeBudget, nil)
+		if withHash != bareHash || withCycles != bareCycles {
+			t.Errorf("%s: probe perturbed the run: hash %s/%s cycles %d/%d",
+				kind, withHash, bareHash, withCycles, bareCycles)
+		}
+		if probe.issues == 0 {
+			t.Errorf("%s: probe saw no issue events", kind)
+		}
+		if probe.broadcasts == 0 {
+			t.Errorf("%s: probe saw no broadcast events", kind)
+		}
+	}
+}
+
+// TestProbeSecurityInvariantsOnProxies asserts the schemes' invariants on
+// a real proxy workload, not just generated programs: STT never issues a
+// tainted transmitter, NDA never releases a speculative load broadcast.
+func TestProbeSecurityInvariantsOnProxies(t *testing.T) {
+	cfg := MegaConfig()
+	for _, kind := range []SchemeKind{KindSTTRename, KindSTTIssue} {
+		probe := &countingProbe{}
+		hashedRun(t, cfg, kind, "505.mcf", probeBudget, probe)
+		if probe.taintedTransmit > 0 {
+			t.Errorf("%s: %d tainted transmitters issued", kind, probe.taintedTransmit)
+		}
+	}
+	probe := &countingProbe{}
+	hashedRun(t, cfg, KindNDA, "505.mcf", probeBudget, probe)
+	if probe.specBroadcasts > 0 {
+		t.Errorf("nda: %d speculative load broadcasts released", probe.specBroadcasts)
+	}
+}

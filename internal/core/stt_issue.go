@@ -119,3 +119,20 @@ func (s *sttIssue) onIssue(u *uop, part issuePart) bool {
 
 func (s *sttIssue) delaysLoadBroadcast() bool { return false }
 func (s *sttIssue) specWakeup(base bool) bool { return base }
+
+// taintedPart is the probe's read-only taint view (see probe.go): the same
+// operand-taint computation onIssue's taint unit performs, against the
+// current cycle's frontier. Safe to query after onIssue — only the
+// destination's taint is written there, never a source's.
+func (s *sttIssue) taintedPart(u *uop, part issuePart) bool {
+	switch part {
+	case partStoreData:
+		return false
+	case partStoreAddr:
+		return s.sourceTaint(u.ps1) != noYRoT
+	}
+	if s.sourceTaint(u.ps1) != noYRoT {
+		return true
+	}
+	return s.sourceTaint(u.ps2) != noYRoT
+}

@@ -146,6 +146,14 @@ func (s *sttRename) canSelect(u *uop, part issuePart) bool {
 
 func (s *sttRename) onIssue(*uop, issuePart) bool { return true }
 
+// taintedPart is the probe's read-only taint view (see probe.go): whether
+// the part's governing YRoT is still beyond the frontier rename-stage
+// state can see — exactly the condition canSelect blocks transmitters on.
+func (s *sttRename) taintedPart(u *uop, part issuePart) bool {
+	y := s.partYRoT(u, part)
+	return y != noYRoT && y > s.c.prevSafeSeq
+}
+
 func (s *sttRename) delaysLoadBroadcast() bool { return false }
 func (s *sttRename) specWakeup(base bool) bool { return base }
 

@@ -1,0 +1,137 @@
+package diffsim
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+)
+
+// TestGenerateDeterministic: a case must regenerate byte-identically —
+// reproducibility from a printed (seed, mask) pair is the whole contract.
+func TestGenerateDeterministic(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		c := CaseForIndex(1, i)
+		a, b := Generate(c), Generate(c)
+		if !reflect.DeepEqual(a.Insts, b.Insts) || !reflect.DeepEqual(a.Data, b.Data) {
+			t.Fatalf("case %v: two generations differ", c)
+		}
+	}
+}
+
+// TestGenerateSeedsDiffer: distinct seeds must not collapse to the same
+// program.
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := Generate(Case{Seed: 100, Mask: FeatAll})
+	b := Generate(Case{Seed: 101, Mask: FeatAll})
+	if reflect.DeepEqual(a.Insts, b.Insts) {
+		t.Fatal("seeds 100 and 101 generated identical instruction streams")
+	}
+}
+
+// TestGeneratedProgramsHalt: every generated program must validate and
+// terminate on the in-order reference — the generator's termination-by-
+// construction argument, checked over a seed spread.
+func TestGeneratedProgramsHalt(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		c := CaseForIndex(500, i)
+		p := Generate(c)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("case %v: %v", c, err)
+		}
+		sim := isa.NewArchSim(p)
+		if _, err := sim.Run(maxRefInsts); err != nil {
+			t.Fatalf("case %v: %v", c, err)
+		}
+	}
+}
+
+// TestFeatureMasksEmitTheirClasses: a single-feature mask must emit the
+// instruction classes its feature promises.
+func TestFeatureMasksEmitTheirClasses(t *testing.T) {
+	cases := []struct {
+		mask FeatureMask
+		want []isa.Class
+	}{
+		{FeatALU, []isa.Class{isa.ClassALU}},
+		{FeatMulDiv, []isa.Class{isa.ClassMul}},
+		{FeatPointerChase, []isa.Class{isa.ClassLoad}},
+		{FeatIndirectLoad, []isa.Class{isa.ClassLoad}},
+		{FeatDataDepBranch, []isa.Class{isa.ClassBranch, isa.ClassLoad}},
+		{FeatStoreAlias, []isa.Class{isa.ClassStore, isa.ClassLoad}},
+		{FeatCallReturn, []isa.Class{isa.ClassJump}},
+		{FeatIndirectCall, []isa.Class{isa.ClassJump, isa.ClassLoad}},
+	}
+	for _, tc := range cases {
+		counts := Generate(Case{Seed: 42, Mask: tc.mask}).ClassCounts()
+		for _, cls := range tc.want {
+			if counts[cls] == 0 {
+				t.Errorf("mask %v: no %v instructions emitted (%v)", tc.mask, cls, counts)
+			}
+		}
+	}
+}
+
+// TestCaseForIndexCoversFeatures: the campaign schedule must isolate each
+// feature before mixing them.
+func TestCaseForIndexCoversFeatures(t *testing.T) {
+	for i := 0; i < numFeatures; i++ {
+		if got := CaseForIndex(1, i).Mask; got != 1<<i {
+			t.Errorf("case %d mask = %#x, want %#x", i, got, 1<<i)
+		}
+	}
+	if got := CaseForIndex(1, numFeatures).Mask; got != FeatAll {
+		t.Errorf("case %d mask = %#x, want FeatAll", numFeatures, got)
+	}
+}
+
+// TestReplayCommand: the failure-message replay invocation must carry the
+// exact seed and mask.
+func TestReplayCommand(t *testing.T) {
+	c := Case{Seed: 123, Mask: 0x2f}
+	cmd := c.ReplayCommand()
+	for _, want := range []string{"-fuzz-seed 123", "-fuzz-mask 0x2f"} {
+		if !strings.Contains(cmd, want) {
+			t.Errorf("replay command %q missing %q", cmd, want)
+		}
+	}
+}
+
+// TestConfigForCaseStable: a replayed case must land on the same core
+// configuration its campaign run used.
+func TestConfigForCaseStable(t *testing.T) {
+	c := CaseForIndex(1, 17)
+	if a, b := ConfigForCase(c).Name, ConfigForCase(c).Name; a != b {
+		t.Fatalf("config selection unstable: %s vs %s", a, b)
+	}
+}
+
+// TestDifferentialCorpus is the standing correctness gate: a deterministic
+// corpus of 208 generated programs — every single-feature mask, the full
+// mask, and 199 random mixes — must pass the differential oracle for every
+// registered scheme. Any failure prints the (seed, mask) pair and the
+// shadowbinding invocation that replays it.
+func TestDifferentialCorpus(t *testing.T) {
+	const n = 208
+	if err := Campaign(context.Background(), 1, n, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckCaseSchemesExplicit runs one rich case against each scheme
+// individually, so a scheme regression is attributed even if the corpus
+// is skipped.
+func TestCheckCaseSchemesExplicit(t *testing.T) {
+	c := Case{Seed: 99, Mask: FeatAll}
+	for _, kind := range core.SchemeKinds() {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			if err := CheckCase(core.MegaConfig(), []core.SchemeKind{kind}, c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

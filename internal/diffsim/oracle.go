@@ -1,0 +1,236 @@
+package diffsim
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/isa"
+)
+
+// maxRefInsts bounds the in-order reference run; a generated program is
+// counted-loop bounded and executes far fewer instructions.
+const maxRefInsts = 1_000_000
+
+// Case identifies one fuzz case: everything needed to regenerate its
+// program and rerun its oracle checks.
+type Case struct {
+	Seed uint64
+	Mask FeatureMask
+}
+
+func (c Case) String() string {
+	return fmt.Sprintf("seed=%d mask=%#x (%v)", c.Seed, uint16(c.Mask), c.Mask)
+}
+
+// ReplayCommand returns the cmd/shadowbinding invocation that replays
+// this case, configuration selection included.
+func (c Case) ReplayCommand() string {
+	return fmt.Sprintf("shadowbinding -fuzz-seed %d -fuzz-mask %#x", c.Seed, uint16(c.Mask))
+}
+
+// CaseForIndex derives the i'th case of a campaign with the given base
+// seed. The schedule front-loads coverage — each single feature first,
+// then the full mask — before switching to random feature mixes, so even
+// a short campaign isolates every feature at least once.
+func CaseForIndex(base uint64, i int) Case {
+	seed := base + uint64(i)
+	var mask FeatureMask
+	switch {
+	case i < numFeatures:
+		mask = 1 << i
+	case i == numFeatures:
+		mask = FeatAll
+	default:
+		rng := rand.New(rand.NewSource(int64(seed)*0x9E3779B9 + 1))
+		mask = FeatureMask(1 + rng.Intn(int(FeatAll)))
+	}
+	return Case{Seed: seed, Mask: mask}
+}
+
+// ConfigForCase picks the Table 1 configuration a case runs on. Derived
+// from the seed alone so a replay from a printed (seed, mask) pair
+// selects the same core.
+func ConfigForCase(c Case) core.Config {
+	cfgs := core.Configs()
+	return cfgs[c.Seed%uint64(len(cfgs))]
+}
+
+// caseErr wraps a check failure with everything needed to replay it.
+func caseErr(c Case, cfg core.Config, kind core.SchemeKind, format string, args ...any) error {
+	return fmt.Errorf("diffsim: case %v on %s/%s: %s; replay: %s",
+		c, cfg.Name, kind, fmt.Sprintf(format, args...), c.ReplayCommand())
+}
+
+// invariantProbe collects security-invariant violations through the
+// core's observational Probe hooks.
+type invariantProbe struct {
+	taintTracking bool // STT: a tainted transmitter must never issue
+	delayedNDA    bool // NDA: a speculative load broadcast must never release
+	violations    []string
+}
+
+func (p *invariantProbe) OnIssue(ev core.IssueEvent) {
+	if p.taintTracking && ev.Transmitter && ev.Tainted && len(p.violations) < 8 {
+		p.violations = append(p.violations, fmt.Sprintf(
+			"cycle %d: tainted transmitter issued (pc %d, %v, seq %d, part %d)",
+			ev.Cycle, ev.PC, ev.Op, ev.Seq, ev.Part))
+	}
+}
+
+func (p *invariantProbe) OnLoadBroadcast(ev core.BroadcastEvent) {
+	if p.delayedNDA && ev.Speculative && len(p.violations) < 8 {
+		p.violations = append(p.violations, fmt.Sprintf(
+			"cycle %d: speculative load broadcast released (pc %d, seq %d, delayed=%v)",
+			ev.Cycle, ev.PC, ev.Seq, ev.Delayed))
+	}
+}
+
+// reference runs the in-order architectural simulator to completion,
+// returning its commit stream and the final machine.
+func reference(c Case, prog *isa.Program) ([]isa.Commit, *isa.ArchSim, error) {
+	sim := isa.NewArchSim(prog)
+	var stream []isa.Commit
+	for len(stream) < maxRefInsts {
+		rec := sim.Step()
+		if sim.Halted() {
+			return stream, sim, nil
+		}
+		stream = append(stream, rec)
+	}
+	return nil, nil, fmt.Errorf("diffsim: case %v: reference did not halt within %d instructions; replay: %s",
+		c, maxRefInsts, c.ReplayCommand())
+}
+
+// CheckCase generates the case's program and checks every given scheme
+// against the in-order reference on cfg: committed-instruction-stream
+// equality, final architectural register and memory equality, liveness
+// within a cycle bound, and the schemes' security invariants via the
+// probe hooks. The first failure is returned, tagged with the case's
+// replay command.
+func CheckCase(cfg core.Config, kinds []core.SchemeKind, c Case) error {
+	prog := Generate(c)
+	if err := prog.Validate(); err != nil {
+		return fmt.Errorf("diffsim: case %v: generated program invalid: %w; replay: %s",
+			c, err, c.ReplayCommand())
+	}
+	want, sim, err := reference(c, prog)
+	if err != nil {
+		return err
+	}
+	for _, kind := range kinds {
+		if err := checkScheme(cfg, kind, c, prog, want, sim); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cycleBound returns the liveness bound for a program with n committed
+// instructions: generous enough for the slowest scheme on the narrowest
+// core (DRAM-bound worst case), tight enough that a livelock fails fast.
+func cycleBound(n int) uint64 {
+	return 50_000 + uint64(n)*200
+}
+
+func checkScheme(cfg core.Config, kind core.SchemeKind, cs Case, prog *isa.Program, want []isa.Commit, sim *isa.ArchSim) error {
+	c, err := core.New(cfg, kind, prog)
+	if err != nil {
+		return caseErr(cs, cfg, kind, "core.New: %v", err)
+	}
+	probe := &invariantProbe{
+		taintTracking: kind == core.KindSTTRename || kind == core.KindSTTIssue,
+		delayedNDA:    kind == core.KindNDA,
+	}
+	c.Probe = probe
+
+	var got []isa.Commit
+	divergence := -1
+	c.CommitHook = func(rec isa.Commit) {
+		if divergence < 0 && (len(got) >= len(want) || rec != want[len(got)]) {
+			divergence = len(got)
+		}
+		got = append(got, rec)
+	}
+
+	res, err := c.Run(core.RunLimits{MaxCycles: cycleBound(len(want))})
+	if err != nil {
+		return caseErr(cs, cfg, kind, "deadlock: %v", err)
+	}
+	if !res.Halted {
+		return caseErr(cs, cfg, kind,
+			"liveness: no halt within %d cycles (%d/%d instructions committed)",
+			cycleBound(len(want)), len(got), len(want))
+	}
+
+	// Committed-instruction-stream equality against the reference.
+	switch {
+	case divergence >= 0 && divergence < len(want):
+		return caseErr(cs, cfg, kind, "commit stream diverged at instruction %d:\n  got  %+v\n  want %+v",
+			divergence, got[divergence], want[divergence])
+	case divergence >= 0:
+		return caseErr(cs, cfg, kind, "commit stream too long: %d committed, reference executed %d (first extra: %+v)",
+			len(got), len(want), got[divergence])
+	case len(got) < len(want):
+		return caseErr(cs, cfg, kind, "commit stream too short: %d committed, reference executed %d (next expected: %+v)",
+			len(got), len(want), want[len(got)])
+	}
+
+	// Final architectural register state.
+	regs := sim.Registers()
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if got, want := c.ArchReg(r), regs[r]; got != want {
+			return caseErr(cs, cfg, kind, "final %v = %#x, reference has %#x", r, got, want)
+		}
+	}
+
+	// Final memory image, compared over every word the reference image
+	// holds (initial data plus all stores); addresses are scanned in
+	// sorted order so a failure is deterministic.
+	image := sim.MemorySnapshot()
+	addrs := make([]uint64, 0, len(image))
+	for a := range image {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		if got, want := c.Memory().Read(a), image[a]; got != want {
+			return caseErr(cs, cfg, kind, "final M[%#x] = %#x, reference has %#x", a, got, want)
+		}
+	}
+
+	// Security invariants observed by the probe.
+	if len(probe.violations) > 0 {
+		return caseErr(cs, cfg, kind, "security invariant violated:\n  %s",
+			probe.violations[0])
+	}
+	return nil
+}
+
+// Campaign runs n cases derived from the base seed — CaseForIndex(base, i)
+// for i in [0, n) — on the harness's shared worker pool, checking every
+// registered scheme for each case. The first failure cancels the rest and
+// is returned (lowest index among the cases that ran; every failure's
+// message carries its own replay command either way). progress, when
+// non-nil, receives one line per completed case; calls are serialized.
+func Campaign(ctx context.Context, base uint64, n, parallelism int, progress func(format string, args ...any)) error {
+	var mu sync.Mutex
+	done := 0
+	return harness.ParallelDo(ctx, n, parallelism, func(i int) error {
+		cs := CaseForIndex(base, i)
+		if err := CheckCase(ConfigForCase(cs), core.SchemeKinds(), cs); err != nil {
+			return err
+		}
+		if progress != nil {
+			mu.Lock()
+			done++
+			progress("diffsim: [%d/%d] ok %v on %s", done, n, cs, ConfigForCase(cs).Name)
+			mu.Unlock()
+		}
+		return nil
+	})
+}

@@ -3,6 +3,7 @@ package harness
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
@@ -89,6 +90,31 @@ func WriteBenchReport(path string, runs ...BenchReport) error {
 		return fmt.Errorf("harness: marshal bench report: %w", err)
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// finitePositive reports whether v is a usable throughput number.
+func finitePositive(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0) && v > 0
+}
+
+// Validate checks a bench file's structural sanity: the schema tag must
+// match and every throughput figure — the aggregate and each run's — must
+// be finite and positive. A NaN, Inf, or non-positive sim_cycles_per_sec
+// means the measurement was corrupt (zero wall time, overflowed counter),
+// and must not land in the performance trajectory.
+func (f BenchFile) Validate() error {
+	if f.Schema != BenchSchema {
+		return fmt.Errorf("harness: bench schema %q, want %q", f.Schema, BenchSchema)
+	}
+	if !finitePositive(f.SimCyclesPerSec) {
+		return fmt.Errorf("harness: aggregate sim_cycles_per_sec %v is not finite and positive", f.SimCyclesPerSec)
+	}
+	for i, r := range f.Runs {
+		if !finitePositive(r.SimCyclesPerSec) {
+			return fmt.Errorf("harness: run %d (%q): sim_cycles_per_sec %v is not finite and positive", i, r.Label, r.SimCyclesPerSec)
+		}
+	}
+	return nil
 }
 
 // ReadBenchReport loads a BENCH_core.json file.

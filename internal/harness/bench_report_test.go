@@ -1,0 +1,87 @@
+package harness
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestBenchReportRoundTrip pins the BENCH_core.json schema: a written file
+// must read back equal — marshal → unmarshal → identical runs and
+// aggregates — and validate clean. A field rename or type change breaks
+// this before it breaks the CI artifact consumers.
+func TestBenchReportRoundTrip(t *testing.T) {
+	runs := []BenchReport{
+		NewBenchReport("evaluation-sweep", 352, 14_000_000, 8*time.Second, 1),
+		NewBenchReport("matrix-slice", 16, 480_000, 250*time.Millisecond, 4),
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	if err := WriteBenchReport(path, runs...); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != BenchSchema {
+		t.Errorf("schema %q, want %q", got.Schema, BenchSchema)
+	}
+	if !reflect.DeepEqual(got.Runs, runs) {
+		t.Errorf("runs did not round-trip:\ngot  %+v\nwant %+v", got.Runs, runs)
+	}
+	wantCycles := runs[0].SimCycles + runs[1].SimCycles
+	if got.SimCycles != wantCycles {
+		t.Errorf("aggregate sim_cycles = %d, want %d", got.SimCycles, wantCycles)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("round-tripped file failed validation: %v", err)
+	}
+}
+
+// TestBenchReportThroughputGuard: every constructor path must yield a
+// finite, positive sim_cycles_per_sec for a real measurement.
+func TestBenchReportThroughputGuard(t *testing.T) {
+	r := NewBenchReport("guard", 1, 1_000_000, 500*time.Millisecond, 1)
+	if v := r.SimCyclesPerSec; math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		t.Errorf("sim_cycles_per_sec = %v, want finite and positive", v)
+	}
+	if want := 2_000_000.0; math.Abs(r.SimCyclesPerSec-want) > 1 {
+		t.Errorf("sim_cycles_per_sec = %v, want ~%v", r.SimCyclesPerSec, want)
+	}
+}
+
+// TestBenchFileValidateRejectsCorrupt: the validator must reject the
+// corruption modes it exists for.
+func TestBenchFileValidateRejectsCorrupt(t *testing.T) {
+	good := BenchFile{
+		Schema:          BenchSchema,
+		Runs:            []BenchReport{NewBenchReport("ok", 1, 1000, time.Second, 1)},
+		SimCycles:       1000,
+		WallSeconds:     1,
+		SimCyclesPerSec: 1000,
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*BenchFile)
+	}{
+		{"wrong schema", func(f *BenchFile) { f.Schema = "other/v9" }},
+		{"zero aggregate", func(f *BenchFile) { f.SimCyclesPerSec = 0 }},
+		{"NaN aggregate", func(f *BenchFile) { f.SimCyclesPerSec = math.NaN() }},
+		{"Inf aggregate", func(f *BenchFile) { f.SimCyclesPerSec = math.Inf(1) }},
+		{"negative run", func(f *BenchFile) { f.Runs[0].SimCyclesPerSec = -5 }},
+	}
+	for _, tc := range cases {
+		f := good
+		f.Runs = append([]BenchReport{}, good.Runs...)
+		tc.mutate(&f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: corrupt file passed validation", tc.name)
+		}
+	}
+}

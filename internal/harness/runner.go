@@ -2,7 +2,6 @@ package harness
 
 import (
 	"context"
-	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -12,14 +11,12 @@ import (
 
 // The parallel evaluation engine. RunMatrix enumerates the full
 // (configuration × scheme × benchmark) cross product as independent jobs
-// up front, executes them on a bounded worker pool, and aggregates the
-// results in enumeration order. Every simulation is hermetic (each job
-// builds its own program and core; workloads use a seeded PRNG, not global
-// state), so Matrix contents — and therefore every figure rendered from
-// them — are bit-for-bit identical at any Parallelism setting.
-
-// job names one cell run by flat index into the cross product.
-type job struct{ ci, si, bi int }
+// up front, executes them on the shared worker pool (ParallelDo in
+// parallel.go), and aggregates the results in enumeration order. Every
+// simulation is hermetic (each job builds its own program and core;
+// workloads use a seeded PRNG, not global state), so Matrix contents — and
+// therefore every figure rendered from them — are bit-for-bit identical at
+// any Parallelism setting.
 
 // RunMatrix sweeps every (configuration, scheme, benchmark) triple on a
 // worker pool of Options.Parallelism goroutines (default: all CPUs).
@@ -38,18 +35,6 @@ func RunMatrixContext(ctx context.Context, configs []core.Config, schemes []core
 	// Results land in job-index slots, never appended, so completion
 	// order cannot leak into aggregation order.
 	runs := make([]Run, total)
-	errs := make([]error, total)
-
-	workers := opts.Parallelism
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > total {
-		workers = total
-	}
-
-	runCtx, cancel := context.WithCancel(ctx)
-	defer cancel()
 
 	var (
 		logMu sync.Mutex
@@ -62,52 +47,19 @@ func RunMatrixContext(ctx context.Context, configs []core.Config, schemes []core
 		logMu.Unlock()
 	}
 
-	jobs := make(chan job)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range jobs {
-				if runCtx.Err() != nil {
-					continue // drain: the sweep is being torn down
-				}
-				idx := (j.ci*ns+j.si)*nb + j.bi
-				r, err := RunOne(configs[j.ci], schemes[j.si], benches[j.bi], opts)
-				if err != nil {
-					errs[idx] = err
-					cancel() // fail fast: stop scheduling new work
-					continue
-				}
-				runs[idx] = r
-				jobDone(r)
-			}
-		}()
-	}
-feed:
-	for ci := 0; ci < nc; ci++ {
-		for si := 0; si < ns; si++ {
-			for bi := 0; bi < nb; bi++ {
-				select {
-				case jobs <- job{ci, si, bi}:
-				case <-runCtx.Done():
-					break feed
-				}
-			}
-		}
-	}
-	close(jobs)
-	wg.Wait()
-
-	// Error precedence: a job failure beats the cancellation it caused;
-	// the scan is in job order, so the reported error is deterministic
-	// even if several jobs failed in the same sweep.
-	for _, err := range errs {
+	err := ParallelDo(ctx, total, opts.Parallelism, func(idx int) error {
+		ci := idx / (ns * nb)
+		si := idx / nb % ns
+		bi := idx % nb
+		r, err := RunOne(configs[ci], schemes[si], benches[bi], opts)
 		if err != nil {
-			return nil, err
+			return err
 		}
-	}
-	if err := ctx.Err(); err != nil {
+		runs[idx] = r
+		jobDone(r)
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
 

@@ -48,6 +48,21 @@ func (s *ArchSim) Mem(addr uint64) uint64 { return s.mem[addr&^7] }
 // InstCount returns the number of instructions executed so far.
 func (s *ArchSim) InstCount() uint64 { return s.count }
 
+// Registers returns a copy of the architectural register file.
+func (s *ArchSim) Registers() [NumRegs]uint64 { return s.regs }
+
+// MemorySnapshot returns a copy of the current data image: the program's
+// initial memory plus every store executed so far. The differential oracle
+// compares it word-for-word against the out-of-order core's committed
+// memory.
+func (s *ArchSim) MemorySnapshot() map[uint64]uint64 {
+	m := make(map[uint64]uint64, len(s.mem))
+	for a, v := range s.mem {
+		m[a] = v
+	}
+	return m
+}
+
 // Step executes one instruction and returns its commit record. Stepping a
 // halted machine returns a Halt record without advancing.
 func (s *ArchSim) Step() Commit {

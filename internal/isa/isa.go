@@ -345,10 +345,19 @@ func EvalALU(op Op, a, b uint64, imm int64) uint64 {
 		if b == 0 {
 			return ^uint64(0)
 		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			// RISC-V overflow semantics: the quotient is the dividend.
+			// (Go would panic on this division.)
+			return a
+		}
 		return uint64(int64(a) / int64(b))
 	case Rem:
 		if b == 0 {
 			return a
+		}
+		if int64(a) == -1<<63 && int64(b) == -1 {
+			// RISC-V overflow semantics: the remainder is zero.
+			return 0
 		}
 		return uint64(int64(a) % int64(b))
 	}

@@ -30,11 +30,14 @@ func (p *Program) At(pc uint64) Inst {
 	return p.Insts[pc]
 }
 
-// Validate checks structural invariants: branch and jump targets inside the
-// program, and register indices in range. It returns the first problem
-// found.
+// Validate checks structural invariants: the entry point and all branch
+// and jump targets inside the program, and register indices in range. It
+// returns the first problem found.
 func (p *Program) Validate() error {
 	n := int64(len(p.Insts))
+	if len(p.Insts) > 0 && p.Entry >= uint64(len(p.Insts)) {
+		return fmt.Errorf("%s: entry %d out of range [0,%d)", p.Name, p.Entry, n)
+	}
 	for pc, in := range p.Insts {
 		if in.Rd >= NumRegs || in.Rs1 >= NumRegs || in.Rs2 >= NumRegs {
 			return fmt.Errorf("%s: pc %d: register out of range in %v", p.Name, pc, in)
@@ -55,6 +58,18 @@ func (p *Program) Validate() error {
 		}
 	}
 	return nil
+}
+
+// ClassCounts returns the number of static instructions per operation
+// class — an introspection helper the random-program generator's tests use
+// to verify a feature mix actually emitted the instruction classes it
+// promises.
+func (p *Program) ClassCounts() map[Class]int {
+	counts := make(map[Class]int)
+	for _, in := range p.Insts {
+		counts[ClassOf(in.Op)]++
+	}
+	return counts
 }
 
 // InitialMemory returns the program's initial data image as a flat

@@ -1,0 +1,35 @@
+package synth
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/summary.golden")
+
+// TestSummaryTableGolden pins the full area/power/frequency table, in the
+// same -update regeneration convention as the harness figure goldens: a
+// coefficient or composition change in the synthesis model must show up
+// as a reviewed golden diff, not drift silently.
+func TestSummaryTableGolden(t *testing.T) {
+	got := SummaryTable()
+	path := filepath.Join("testdata", "summary.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to generate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("summary table diverged from golden; if the model change is intentional, regenerate with -update\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/attack"
 	"repro/internal/core"
+	"repro/internal/diffsim"
 	"repro/internal/harness"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -181,6 +182,41 @@ func SpectreV1All(cfg Config) ([]AttackResult, error) { return attack.RunAll(cfg
 // one scheme — the D-shadow counterpart of SpectreV1.
 func SpectreSSB(cfg Config, kind Scheme) (AttackResult, error) {
 	return attack.RunSpectreSSB(cfg, kind)
+}
+
+// Differential fuzzing (internal/diffsim): a seeded random-program oracle
+// that cross-checks every registered scheme against the in-order
+// architectural reference. Every case is a reproducible (seed, feature
+// mask) pair; a failure's error message embeds the replay invocation.
+type (
+	// FuzzCase identifies one differential fuzz case.
+	FuzzCase = diffsim.Case
+	// FuzzFeatureMask selects the behaviours a generated program mixes.
+	FuzzFeatureMask = diffsim.FeatureMask
+)
+
+// FuzzFeatAll enables every generator feature.
+const FuzzFeatAll = diffsim.FeatAll
+
+// FuzzCaseForIndex derives the i'th case of a campaign from its base seed.
+var FuzzCaseForIndex = diffsim.CaseForIndex
+
+// FuzzConfigForCase returns the Table 1 configuration a case runs on
+// (derived from the seed, so replays select the same core).
+var FuzzConfigForCase = diffsim.ConfigForCase
+
+// FuzzCampaign checks n generated programs (cases i in [0,n) of the base
+// seed) against every registered scheme on a parallelism-bounded worker
+// pool. The first failing case is returned with its replay command
+// embedded (fail-fast; lowest index among the cases that ran).
+func FuzzCampaign(ctx context.Context, baseSeed uint64, n, parallelism int, progress func(format string, args ...any)) error {
+	return diffsim.Campaign(ctx, baseSeed, n, parallelism, progress)
+}
+
+// ReplayFuzzCase re-runs one case — typically transcribed from a campaign
+// failure message — through the full differential oracle.
+func ReplayFuzzCase(c FuzzCase) error {
+	return diffsim.CheckCase(diffsim.ConfigForCase(c), core.SchemeKinds(), c)
 }
 
 // Evaluation holds the measured matrices behind the paper's tables and
