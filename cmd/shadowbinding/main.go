@@ -1,13 +1,15 @@
-// Command shadowbinding reproduces the paper's evaluation: it runs the
-// full (configuration × scheme × benchmark) sweep on the parallel
-// evaluation engine and prints any table or figure from the evaluation
-// section, plus the Spectre v1 security check.
+// Command shadowbinding reproduces the paper's evaluation through the
+// Session API: experiments are rendered lazily from content-addressed
+// simulation cells, each executed at most once and — with -cache —
+// persisted on disk, so a warm re-run of any experiment simulates
+// nothing.
 //
 // Usage:
 //
 //	shadowbinding -experiment all
 //	shadowbinding -experiment fig6 -measure 100000
 //	shadowbinding -experiment fig7 -schemes stt-issue,nda -j 4
+//	shadowbinding -experiment table1 -cache ~/.cache/shadowbinding   # warm runs are free
 //	shadowbinding -experiment security
 //
 // Differential fuzzing (long offline campaigns and failure replay):
@@ -17,16 +19,17 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
 	"time"
 
 	sb "repro"
+	"repro/internal/cliutil"
 )
+
+const tool = "shadowbinding"
 
 func main() {
 	experiment := flag.String("experiment", "all",
@@ -34,14 +37,11 @@ func main() {
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles per run")
 	measure := flag.Uint64("measure", 32_000, "measured cycles per run")
 	scale := flag.Int("scale", 1, "workload iteration multiplier")
-	parallel := flag.Int("j", 0, "worker pool size for the sweep (0 = all CPUs)")
-	schemesCSV := flag.String("schemes", "",
-		"comma-separated scheme filter (default all: "+strings.Join(sb.SchemeNames(), ",")+"); baseline is always included")
 	quiet := flag.Bool("q", false, "suppress progress output")
-	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the sweep to this path")
 	fuzzN := flag.Int("fuzz", 0, "run a differential fuzzing campaign of N generated programs (cross-checks every scheme against the architectural reference)")
 	fuzzSeed := flag.Uint64("fuzz-seed", 1, "base seed for -fuzz; without -fuzz, replay exactly one case (pair with -fuzz-mask)")
 	fuzzMask := flag.Uint64("fuzz-mask", 0, "feature mask for a single-case replay (0 = all features)")
+	common := cliutil.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	fuzzFlagSet, experimentSet := false, false
@@ -55,80 +55,82 @@ func main() {
 	})
 	if fuzzFlagSet {
 		if experimentSet {
-			fatal(fmt.Errorf("-experiment cannot be combined with -fuzz/-fuzz-seed/-fuzz-mask"))
+			cliutil.Fatal(tool, fmt.Errorf("-experiment cannot be combined with -fuzz/-fuzz-seed/-fuzz-mask"))
 		}
-		runFuzz(*fuzzN, *fuzzSeed, *fuzzMask, *parallel, *quiet)
+		runFuzz(*fuzzN, *fuzzSeed, *fuzzMask, common.Parallelism, *quiet)
 		return
 	}
 
 	if *experiment == "security" {
 		report, err := sb.SecurityReport()
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(tool, err)
 		}
 		fmt.Print(report)
 		return
 	}
 
-	schemes, err := sb.ParseSchemes(*schemesCSV)
+	schemes, err := common.Schemes(true) // figures normalize against baseline
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
+	}
+	cache, err := common.OpenCache()
+	if err != nil {
+		cliutil.Fatal(tool, err)
 	}
 
 	opts := sb.DefaultOptions()
 	opts.WarmupCycles = *warmup
 	opts.MeasureCycles = *measure
 	opts.Scale = *scale
-	opts.Parallelism = *parallel
+	opts.Parallelism = common.Parallelism
 	if !*quiet {
 		opts.Progress = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
 	}
 
-	// Ctrl-C cancels the sweep instead of killing it mid-write.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Ctrl-C cancels the cell pool instead of killing it mid-write.
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
-	sweepStart := time.Now()
-	eval, err := sb.NewEvaluationContext(ctx, schemes, opts)
-	if err != nil {
-		fatal(err)
-	}
-	if *benchOut != "" {
-		rep := sb.NewBenchReport("evaluation-sweep", eval.NumRuns(), eval.TotalSimCycles(),
-			time.Since(sweepStart), opts.Parallelism)
-		if err := sb.WriteBenchReport(*benchOut, rep); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(os.Stderr, "shadowbinding:", rep)
-	}
+	sess := sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes, Cache: cache})
 
 	ids := []string{*experiment}
 	if *experiment == "all" {
 		ids = sb.ExperimentIDs()
 	}
+	start := time.Now()
 	for _, id := range ids {
-		out, err := eval.Experiment(id)
+		out, err := sess.Experiment(ctx, id)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(tool, err)
 		}
 		fmt.Println(out)
 	}
+	// The bench report covers the session sweep only — the security
+	// check below simulates outside the cell engine.
+	sweepWall := time.Since(start)
 	if *experiment == "all" {
 		report, err := sb.SecurityReport()
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(tool, err)
 		}
 		fmt.Println(report)
 	}
+
+	st := sess.Stats()
+	if common.CacheDir != "" {
+		cliutil.PrintCacheSummary(tool, st)
+	}
+	common.EmitBench(tool, "evaluation-sweep", st.Simulated, st.SimCycles, sweepWall, opts.Parallelism)
 }
 
 // runFuzz drives the differential fuzzing subsystem: a campaign of n
 // generated programs when n > 0, otherwise a single-case replay from a
 // failure message's (seed, mask) pair.
 func runFuzz(n int, seed, mask uint64, parallel int, quiet bool) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	if n > 0 {
@@ -139,7 +141,7 @@ func runFuzz(n int, seed, mask uint64, parallel int, quiet bool) {
 			}
 		}
 		if err := sb.FuzzCampaign(ctx, seed, n, parallel, progress); err != nil {
-			fatal(err)
+			cliutil.Fatal(tool, err)
 		}
 		fmt.Printf("fuzz: %d cases passed (base seed %d, schemes %s)\n",
 			n, seed, strings.Join(sb.SchemeNames(), ","))
@@ -151,13 +153,8 @@ func runFuzz(n int, seed, mask uint64, parallel int, quiet bool) {
 		c.Mask = sb.FuzzFeatAll
 	}
 	if err := sb.ReplayFuzzCase(c); err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
 	fmt.Printf("fuzz: case %v passed on %s (schemes %s)\n",
 		c, sb.FuzzConfigForCase(c).Name, strings.Join(sb.SchemeNames(), ","))
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "shadowbinding:", err)
-	os.Exit(1)
 }

@@ -1,35 +1,38 @@
 // Command specrun runs a single benchmark cell and dumps its full counter
 // set and TraceDoctor-style analysis, including the baseline comparison
 // used for the paper's Section 9.2 discussion. With -schemes it sweeps the
-// benchmark under several schemes at once on the parallel engine.
+// benchmark under several schemes at once on the parallel engine. Cells
+// resolve through a Session, so -cache makes repeated dives into the same
+// cell free.
 //
 // Usage:
 //
 //	specrun -bench 548.exchange2 -config mega -scheme stt-rename
 //	specrun -bench 505.mcf -schemes stt-rename,stt-issue,nda -j 4
+//	specrun -bench 505.mcf -scheme nda -cache ~/.cache/shadowbinding
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	sb "repro"
+	"repro/internal/cliutil"
 	"repro/internal/trace"
 )
+
+const tool = "specrun"
 
 func main() {
 	bench := flag.String("bench", "548.exchange2", "benchmark name (see -list)")
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega, gem5-stt, gem5-nda")
 	scheme := flag.String("scheme", "stt-rename", "single scheme: baseline, stt-rename, stt-issue, nda")
-	schemesCSV := flag.String("schemes", "", "comma-separated scheme sweep (overrides -scheme; baseline always included)")
-	parallel := flag.Int("j", 0, "worker pool size for a -schemes sweep (0 = all CPUs)")
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles")
 	measure := flag.Uint64("measure", 32_000, "measured cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
-	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the measured cell(s) to this path")
+	common := cliutil.Register(flag.CommandLine, "")
 	flag.Parse()
 
 	if *list {
@@ -41,68 +44,79 @@ func main() {
 
 	cfg, err := sb.ConfigByName(*config)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
+	}
+	prof, err := sb.BenchmarkByName(*bench)
+	if err != nil {
+		cliutil.Fatal(tool, err)
 	}
 	opts := sb.DefaultOptions()
 	opts.WarmupCycles = *warmup
 	opts.MeasureCycles = *measure
-	opts.Parallelism = *parallel
+	opts.Parallelism = common.Parallelism
 
-	if *schemesCSV != "" {
-		sweep(cfg, *bench, *schemesCSV, opts, *benchOut)
+	cache, err := common.OpenCache()
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+
+	// Ctrl-C cancels the cell pool and exits non-zero instead of killing
+	// the run mid-write.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	if common.SchemesCSV != "" {
+		sweep(ctx, cfg, prof, opts, cache, common)
 		return
 	}
 
 	kind, err := sb.SchemeByName(*scheme)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
+	sess := sb.NewSession(sb.SessionConfig{Options: opts, Cache: cache})
 	start := time.Now()
-	run, err := sb.RunBenchmark(cfg, kind, *bench, opts)
+	run, err := sess.Run(ctx, cfg, kind, prof)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
-	writeBench(*benchOut, "specrun-cell", 1, run.TotalCycles, time.Since(start), 1)
 	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n\n",
 		*bench, cfg.Name, kind, run.IPC, run.Insts, run.Cycles)
 	fmt.Println(run.Stats)
 	fmt.Println(sb.TraceOf(run))
 
 	if kind != sb.Baseline {
-		base, err := sb.RunBenchmark(cfg, sb.Baseline, *bench, opts)
+		base, err := sess.Run(ctx, cfg, sb.Baseline, prof)
 		if err != nil {
-			fatal(err)
+			cliutil.Fatal(tool, err)
 		}
 		cmp := trace.Compare(sb.TraceOf(base), sb.TraceOf(run))
 		fmt.Println(cmp)
 	}
+	finish(sess, common, "specrun-cell", start, 1) // the two cells run sequentially
 }
 
 // sweep runs one benchmark under several schemes concurrently and prints
 // a comparison table plus the per-scheme trace deltas against baseline.
-func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options, benchOut string) {
-	schemes, err := sb.ParseSchemes(schemesCSV)
+func sweep(ctx context.Context, cfg sb.Config, prof sb.Benchmark, opts sb.Options, cache sb.CellCache, common *cliutil.Flags) {
+	schemes, err := common.Schemes(true)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
-	schemes = sb.WithBaseline(schemes)
-	prof, err := sb.BenchmarkByName(bench)
-	if err != nil {
-		fatal(err)
-	}
+	sess := sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes, Cache: cache})
 	start := time.Now()
-	m, err := sb.RunMatrix(context.Background(),
-		[]sb.Config{cfg}, schemes, []sb.Benchmark{prof}, opts)
+	m, err := sess.Matrix(ctx, sb.MatrixSpec{
+		Name: "specrun", Configs: []sb.Config{cfg}, Benches: []sb.Benchmark{prof},
+	})
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
-	writeBench(benchOut, "specrun-sweep", m.NumRuns(), m.TotalSimCycles(), time.Since(start), opts.Parallelism)
 
-	fmt.Printf("%s on %s, %d schemes\n\n", bench, cfg.Name, len(schemes))
+	fmt.Printf("%s on %s, %d schemes\n\n", prof.Name, cfg.Name, len(schemes))
 	fmt.Printf("%-12s %8s %10s\n", "scheme", "IPC", "vs base")
 	for _, k := range schemes {
 		fmt.Printf("%-12s %8.4f %9.1f%%\n", k,
-			m.MeanIPC(cfg.Name, k), 100*m.BenchNormIPC(cfg.Name, k, bench))
+			m.MeanIPC(cfg.Name, k), 100*m.BenchNormIPC(cfg.Name, k, prof.Name))
 	}
 	fmt.Println()
 	baseCell, _ := m.Cell(cfg.Name, sb.Baseline)
@@ -116,21 +130,15 @@ func sweep(cfg sb.Config, bench, schemesCSV string, opts sb.Options, benchOut st
 		}
 		fmt.Println(trace.Compare(sb.TraceOf(baseCell.Runs[0]), sb.TraceOf(cell.Runs[0])))
 	}
+	finish(sess, common, "specrun-sweep", start, opts.Parallelism)
 }
 
-// writeBench emits the throughput report when -bench-out was given.
-func writeBench(path, label string, cells int, simCycles uint64, wall time.Duration, workers int) {
-	if path == "" {
-		return
+// finish emits the cache summary and the -bench-out throughput report for
+// whatever the session actually simulated.
+func finish(sess *sb.Session, common *cliutil.Flags, label string, start time.Time, workers int) {
+	st := sess.Stats()
+	if common.CacheDir != "" {
+		cliutil.PrintCacheSummary(tool, st)
 	}
-	rep := sb.NewBenchReport(label, cells, simCycles, wall, workers)
-	if err := sb.WriteBenchReport(path, rep); err != nil {
-		fatal(err)
-	}
-	fmt.Fprintln(os.Stderr, "specrun:", rep)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "specrun:", err)
-	os.Exit(1)
+	common.EmitBench(tool, label, st.Simulated, st.SimCycles, time.Since(start), workers)
 }

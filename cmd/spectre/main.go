@@ -1,7 +1,8 @@
 // Command spectre runs the Spectre v1 and Speculative Store Bypass proofs
 // of concept (the paper's Section 7 security verification) under every
 // registered scheme — or a -schemes subset — and prints the verdicts. The
-// per-scheme attacks are independent and run on a bounded worker pool.
+// per-scheme attacks are independent and run on a bounded worker pool;
+// Ctrl-C cancels the pool and exits non-zero.
 //
 // Usage:
 //
@@ -13,29 +14,35 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
-	"sync"
 	"time"
 
 	sb "repro"
 	"repro/internal/attack"
+	"repro/internal/cliutil"
+	"repro/internal/harness"
 )
+
+const tool = "spectre"
 
 func main() {
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega")
-	schemesCSV := flag.String("schemes", "", "comma-separated scheme filter (default: all registered schemes)")
-	parallel := flag.Int("j", 0, "worker pool size for the attack matrix (0 = all CPUs)")
-	benchOut := flag.String("bench-out", "", "write a BENCH_core.json throughput report for the attack matrix to this path")
+	common := cliutil.Register(flag.CommandLine,
+		"accepted for CLI symmetry; attack verdicts are security checks and are always re-simulated")
 	flag.Parse()
 
 	cfg, err := sb.ConfigByName(*config)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
-	schemes, err := sb.ParseSchemes(*schemesCSV)
+	schemes, err := common.Schemes(false)
 	if err != nil {
-		fatal(err)
+		cliutil.Fatal(tool, err)
 	}
+
+	// Ctrl-C cancels the attack pool between runs instead of killing the
+	// process mid-write.
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
 
 	// Two attacks per scheme: Spectre v1 first, then SSB, each block in
 	// registry order. Slots are fixed up front so the concurrent attacks
@@ -48,48 +55,24 @@ func main() {
 		jobs = append(jobs, func() (sb.AttackResult, error) { return sb.SpectreSSB(cfg, kind) })
 	}
 
-	workers := *parallel
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
 	start := time.Now()
 	results := make([]sb.AttackResult, len(jobs))
-	errs := make([]error, len(jobs))
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i], errs[i] = jobs[i]()
-			}
-		}()
-	}
-	for i := range jobs {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	for _, err := range errs {
+	err = harness.ParallelDo(ctx, len(jobs), common.Parallelism, func(i int) error {
+		r, err := jobs[i]()
 		if err != nil {
-			fatal(err)
+			return err
 		}
+		results[i] = r
+		return nil
+	})
+	if err != nil {
+		cliutil.Fatal(tool, err)
 	}
-	if *benchOut != "" {
-		var simCycles uint64
-		for _, r := range results {
-			simCycles += r.Cycles
-		}
-		rep := sb.NewBenchReport("spectre-attack-matrix", len(jobs), simCycles, time.Since(start), workers)
-		if err := sb.WriteBenchReport(*benchOut, rep); err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(os.Stderr, "spectre:", rep)
+	var simCycles uint64
+	for _, r := range results {
+		simCycles += r.Cycles
 	}
+	common.EmitBench(tool, "spectre-attack-matrix", len(jobs), simCycles, time.Since(start), common.Parallelism)
 
 	fmt.Printf("Spectre v1 bounds-check bypass on the %s configuration\n", cfg.Name)
 	fmt.Printf("planted secret: %d (probe slot %d)\n\n", attack.SecretValue, attack.SecretValue&63)
@@ -110,9 +93,4 @@ func main() {
 		fmt.Println()
 	}
 	os.Exit(exit)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "spectre:", err)
-	os.Exit(1)
 }

@@ -1,6 +1,9 @@
-// Quickstart: sweep one SPEC proxy benchmark on the Mega BOOM
-// configuration under every registered scheme — in parallel, one worker
-// per scheme — and compare IPC. The smallest useful ShadowBinding program.
+// Quickstart: open an evaluation Session, sweep one SPEC proxy benchmark
+// on the Mega BOOM configuration under every registered scheme, and
+// compare IPC. Cells are content-addressed and cached in the session, so
+// the second request at the end answers without simulating anything —
+// the smallest useful ShadowBinding program, and the smallest useful
+// cache demo.
 package main
 
 import (
@@ -13,7 +16,6 @@ import (
 
 func main() {
 	const bench = "538.imagick"
-	opts := sb.DefaultOptions() // Parallelism 0 = one worker per CPU
 	cfg := sb.MegaConfig()
 
 	fmt.Printf("%s on the %s configuration (%d-wide, %d-entry ROB)\n\n",
@@ -23,10 +25,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	// The scheme list comes from the registry: a drop-in scheme in
+	// The scheme axis comes from the registry: a drop-in scheme in
 	// internal/core would show up here without any change to this program.
-	m, err := sb.RunMatrix(context.Background(),
-		[]sb.Config{cfg}, sb.Schemes(), []sb.Benchmark{prof}, opts)
+	// Pass Cache: sb.OpenCellCache(dir) to persist cells across processes.
+	s := sb.NewSession(sb.SessionConfig{Options: sb.DefaultOptions()})
+	ctx := context.Background()
+
+	m, err := s.Matrix(ctx, sb.MatrixSpec{
+		Name: "quickstart", Configs: []sb.Config{cfg}, Benches: []sb.Benchmark{prof},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,4 +41,13 @@ func main() {
 		fmt.Printf("%-12s IPC %.3f (%.1f%% of baseline)\n",
 			scheme, m.MeanIPC(cfg.Name, scheme), 100*m.NormIPC(cfg.Name, scheme))
 	}
+
+	// Ask for one of those cells again: the session serves it from the
+	// cache — zero additional simulation.
+	if _, err := s.Run(ctx, cfg, sb.STTIssue, prof); err != nil {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	fmt.Printf("\nsession: %d cell requests, %d simulated, %d cache hits (%.0f%%)\n",
+		st.Cells, st.Simulated, st.Hits, 100*st.HitRate())
 }

@@ -1,10 +1,13 @@
 // Secure-speculation deep dive: run a transmitter-dense benchmark under
 // every scheme and explain each scheme's behaviour from its counters —
 // where STT blocks tainted transmitters, where STT-Issue wastes issue
-// slots on nops, and where NDA withholds load broadcasts.
+// slots on nops, and where NDA withholds load broadcasts. Cells resolve
+// through a Session, so the baseline each comparison needs is simulated
+// once and served from the cache thereafter.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -14,12 +17,18 @@ import (
 
 func main() {
 	const bench = "531.deepsjeng" // unpredictable data-dependent branches + indirection
-	opts := sb.DefaultOptions()
 	cfg := sb.MegaConfig()
 
 	fmt.Printf("How each scheme pays for security on %s (%s configuration)\n\n", bench, cfg.Name)
 
-	base, err := sb.RunBenchmark(cfg, sb.Baseline, bench, opts)
+	prof, err := sb.BenchmarkByName(bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := sb.NewSession(sb.SessionConfig{Options: sb.DefaultOptions()})
+	ctx := context.Background()
+
+	base, err := s.Run(ctx, cfg, sb.Baseline, prof)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +36,7 @@ func main() {
 	fmt.Println(baseRep)
 
 	for _, scheme := range sb.SecureSchemes() {
-		run, err := sb.RunBenchmark(cfg, scheme, bench, opts)
+		run, err := s.Run(ctx, cfg, scheme, prof)
 		if err != nil {
 			log.Fatal(err)
 		}

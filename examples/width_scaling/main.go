@@ -1,8 +1,12 @@
 // Width scaling: the paper's central argument (Sections 8.2-8.4) in one
-// program. Sweep the four BOOM configurations, measure relative IPC per
-// scheme, fold in the synthesis model's timing, and print the performance
-// picture of Figure 1 — wider cores pay more for security, and NDA's
-// simple design overtakes STT once timing counts.
+// program. Sweep the four BOOM configurations through a Session, measure
+// relative IPC per scheme, fold in the synthesis model's timing, and
+// print the performance picture of Figure 1 — wider cores pay more for
+// security, and NDA's simple design overtakes STT once timing counts.
+//
+// The session persists its cells under ./width_scaling.cache: re-running
+// this program answers entirely from the cache (watch the final summary
+// line report zero simulations).
 package main
 
 import (
@@ -30,14 +34,24 @@ func main() {
 		suite = append(suite, p)
 	}
 
-	fmt.Printf("sweeping 4 configurations x %d schemes x 6 benchmarks on %d workers ...\n",
-		len(sb.Schemes()), opts.Parallelism)
-	start := time.Now()
-	m, err := sb.RunMatrix(context.Background(), sb.Configs(), sb.Schemes(), suite, opts)
+	cache, err := sb.OpenCellCache("width_scaling.cache")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("swept %d cells in %v\n", 4*len(sb.Schemes())*len(suite), time.Since(start).Round(time.Millisecond))
+	s := sb.NewSession(sb.SessionConfig{Options: opts, Cache: cache})
+
+	fmt.Printf("sweeping 4 configurations x %d schemes x 6 benchmarks on %d workers ...\n",
+		len(sb.Schemes()), opts.Parallelism)
+	start := time.Now()
+	m, err := s.Matrix(context.Background(), sb.MatrixSpec{
+		Name: "width-scaling", Configs: sb.Configs(), Benches: suite,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := s.Stats()
+	fmt.Printf("answered %d cells in %v (%d simulated, %d from width_scaling.cache)\n",
+		st.Cells, time.Since(start).Round(time.Millisecond), st.Simulated, st.Hits)
 
 	fmt.Printf("\n%-8s %9s | %-29s | %-29s\n", "", "baseline", "relative IPC", "performance (IPC x timing)")
 	fmt.Printf("%-8s %9s | %9s %9s %9s | %9s %9s %9s\n",

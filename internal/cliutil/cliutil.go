@@ -1,0 +1,103 @@
+// Package cliutil centralizes the flag wiring and process plumbing shared
+// by the three cmds (shadowbinding, specrun, spectre): the common
+// -j/-schemes/-bench-out/-cache flags, the SIGINT-cancelled root context,
+// the BENCH_core.json emission path, and the session cache summary.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	sb "repro"
+)
+
+// Flags holds the values of the common flags after flag.Parse.
+type Flags struct {
+	Parallelism int
+	SchemesCSV  string
+	BenchOut    string
+	CacheDir    string
+}
+
+// Register installs the common flags on fs (flag.CommandLine in the cmds)
+// and returns the struct their values land in. cacheHelp lets a cmd
+// qualify what -cache covers for it.
+func Register(fs *flag.FlagSet, cacheHelp string) *Flags {
+	f := &Flags{}
+	fs.IntVar(&f.Parallelism, "j", 0, "worker pool size (0 = all CPUs)")
+	fs.StringVar(&f.SchemesCSV, "schemes", "",
+		"comma-separated scheme filter (default all: "+strings.Join(sb.SchemeNames(), ",")+")")
+	fs.StringVar(&f.BenchOut, "bench-out", "", "write a BENCH_core.json throughput report to this path")
+	if cacheHelp == "" {
+		cacheHelp = "cell cache directory: simulation results are content-addressed and persisted here, so a warm re-run simulates nothing"
+	}
+	fs.StringVar(&f.CacheDir, "cache", "", cacheHelp)
+	return f
+}
+
+// Schemes parses the -schemes filter; withBaseline prepends the baseline
+// when absent (figures normalize against it).
+func (f *Flags) Schemes(withBaseline bool) ([]sb.Scheme, error) {
+	schemes, err := sb.ParseSchemes(f.SchemesCSV)
+	if err != nil {
+		return nil, err
+	}
+	if withBaseline {
+		schemes = sb.WithBaseline(schemes)
+	}
+	return schemes, nil
+}
+
+// OpenCache opens the -cache stack: nil without -cache (a Session then
+// uses its private in-memory LRU), or the in-memory LRU over the on-disk
+// JSON store rooted at the flag's directory.
+func (f *Flags) OpenCache() (sb.CellCache, error) {
+	if f.CacheDir == "" {
+		return nil, nil
+	}
+	return sb.OpenCellCache(f.CacheDir)
+}
+
+// SignalContext returns a context cancelled by SIGINT, so Ctrl-C stops
+// worker pools between cell runs instead of killing the process
+// mid-write. Call stop to restore default signal handling.
+func SignalContext() (ctx context.Context, stop context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt)
+}
+
+// EmitBench writes a one-run BENCH_core.json when -bench-out was given
+// and echoes the report to stderr. A run that simulated nothing (a fully
+// warm cache) is skipped: a zero-cycle report would fail the
+// BenchFile.Validate guard and says nothing about simulator throughput.
+func (f *Flags) EmitBench(tool, label string, cells int, simCycles uint64, wall time.Duration, workers int) {
+	if f.BenchOut == "" {
+		return
+	}
+	if simCycles == 0 {
+		fmt.Fprintf(os.Stderr, "%s: -bench-out: nothing simulated (warm cache), no report written\n", tool)
+		return
+	}
+	rep := sb.NewBenchReport(label, cells, simCycles, wall, workers)
+	if err := sb.WriteBenchReport(f.BenchOut, rep); err != nil {
+		Fatal(tool, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %s\n", tool, rep)
+}
+
+// PrintCacheSummary reports a session's cell accounting to stderr — the
+// line the CI cache smoke step asserts on ("0 simulated" on a warm run).
+func PrintCacheSummary(tool string, st sb.SessionStats) {
+	fmt.Fprintf(os.Stderr, "%s: cache: %d cells, %d hits (%.1f%%), %d simulated\n",
+		tool, st.Cells, st.Hits, 100*st.HitRate(), st.Simulated)
+}
+
+// Fatal reports err prefixed with the tool name and exits non-zero.
+func Fatal(tool string, err error) {
+	fmt.Fprintf(os.Stderr, "%s: %v\n", tool, err)
+	os.Exit(1)
+}

@@ -1,0 +1,77 @@
+package cliutil
+
+import (
+	"flag"
+	"path/filepath"
+	"testing"
+	"time"
+
+	sb "repro"
+)
+
+func TestRegisterAndSchemes(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := Register(fs, "")
+	if err := fs.Parse([]string{"-j", "4", "-schemes", "nda", "-cache", "/tmp/x", "-bench-out", "b.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if f.Parallelism != 4 || f.SchemesCSV != "nda" || f.CacheDir != "/tmp/x" || f.BenchOut != "b.json" {
+		t.Errorf("parsed flags = %+v", f)
+	}
+	schemes, err := f.Schemes(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(schemes) != 2 || schemes[0] != sb.Baseline || schemes[1] != sb.NDA {
+		t.Errorf("Schemes(true) = %v, want [baseline nda]", schemes)
+	}
+	schemes, err = f.Schemes(false)
+	if err != nil || len(schemes) != 1 || schemes[0] != sb.NDA {
+		t.Errorf("Schemes(false) = %v, %v, want [nda]", schemes, err)
+	}
+	f.SchemesCSV = "bogus"
+	if _, err := f.Schemes(false); err == nil {
+		t.Error("bogus scheme filter accepted")
+	}
+}
+
+func TestOpenCache(t *testing.T) {
+	f := &Flags{}
+	c, err := f.OpenCache()
+	if err != nil || c != nil {
+		t.Errorf("no -cache: got %v, %v; want nil cache", c, err)
+	}
+	f.CacheDir = filepath.Join(t.TempDir(), "cells")
+	c, err = f.OpenCache()
+	if err != nil || c == nil {
+		t.Errorf("-cache: got %v, %v; want a cache", c, err)
+	}
+}
+
+func TestEmitBench(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_core.json")
+	f := &Flags{BenchOut: path}
+	f.EmitBench("test", "unit", 4, 1_000_000, 500*time.Millisecond, 2)
+	got, err := sb.ReadBenchReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Validate(); err != nil {
+		t.Errorf("emitted report invalid: %v", err)
+	}
+	if len(got.Runs) != 1 || got.Runs[0].Label != "unit" || got.Runs[0].Cells != 4 {
+		t.Errorf("emitted runs = %+v", got.Runs)
+	}
+	// Without -bench-out the emit is a no-op.
+	none := &Flags{}
+	none.EmitBench("test", "unit", 1, 1, time.Second, 1)
+
+	// A warm-cache run (zero simulated cycles) must not write a report:
+	// it would fail the BenchFile.Validate guard.
+	skip := filepath.Join(t.TempDir(), "warm.json")
+	warm := &Flags{BenchOut: skip}
+	warm.EmitBench("test", "unit", 0, 0, time.Second, 1)
+	if _, err := sb.ReadBenchReport(skip); err == nil {
+		t.Error("zero-simulation run wrote a bench report")
+	}
+}

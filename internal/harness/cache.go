@@ -1,0 +1,241 @@
+package harness
+
+import (
+	"container/list"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// CellCache persists content-addressed cell results. Implementations must
+// be safe for concurrent use: the engine calls them from every worker
+// goroutine. Get returns ok=false for a miss; a read error is reported but
+// should be treated as a miss by callers (a corrupt or unreadable entry
+// must degrade to re-simulation, never fail the run).
+type CellCache interface {
+	Get(key string) (Run, bool, error)
+	Put(key string, r Run) error
+}
+
+// ---------------------------------------------------------------------------
+// In-memory LRU.
+
+// MemoryCache is a bounded in-memory LRU cell store — the fast layer of
+// OpenCellCache and the default cache of a Session created without one.
+type MemoryCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent
+	byKey map[string]*list.Element
+}
+
+type memEntry struct {
+	key string
+	run Run
+}
+
+// DefaultMemoryCacheSize holds every cell of the full evaluation (504)
+// with generous headroom for option sweeps and drop-in schemes.
+const DefaultMemoryCacheSize = 8192
+
+// NewMemoryCache returns an LRU cache bounded to capacity entries (zero or
+// negative: DefaultMemoryCacheSize).
+func NewMemoryCache(capacity int) *MemoryCache {
+	if capacity <= 0 {
+		capacity = DefaultMemoryCacheSize
+	}
+	return &MemoryCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached run and bumps its recency.
+func (c *MemoryCache) Get(key string) (Run, bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return Run{}, false, nil
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*memEntry).run, true, nil
+}
+
+// Put inserts or refreshes an entry, evicting the least recently used one
+// beyond capacity.
+func (c *MemoryCache) Put(key string, r Run) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*memEntry).run = r
+		c.order.MoveToFront(el)
+		return nil
+	}
+	c.byKey[key] = c.order.PushFront(&memEntry{key: key, run: r})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*memEntry).key)
+	}
+	return nil
+}
+
+// Len returns the number of cached entries.
+func (c *MemoryCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// ---------------------------------------------------------------------------
+// On-disk JSON store.
+
+// CellSchema identifies the on-disk cell entry layout.
+const CellSchema = "shadowbinding-cell/v1"
+
+// cellFile is one persisted cell result. The scheme's registered *name*
+// rides along so a loaded entry can be revalidated: if the name no longer
+// resolves to the run's kind (a drop-in scheme was renumbered or removed),
+// the entry is a miss, not a silently mislabeled result.
+type cellFile struct {
+	Schema string `json:"schema"`
+	Key    string `json:"key"`
+	Scheme string `json:"scheme"`
+	Run    Run    `json:"run"`
+}
+
+// DiskCache stores one JSON file per cell under a directory — the
+// persistent layer behind the cmds' -cache flag. Writes are atomic
+// (temp file + rename), so concurrent processes sharing a directory see
+// whole entries or none.
+type DiskCache struct {
+	dir string
+}
+
+// NewDiskCache opens (creating if needed) an on-disk cell store.
+func NewDiskCache(dir string) (*DiskCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("harness: cell cache dir: %w", err)
+	}
+	return &DiskCache{dir: dir}, nil
+}
+
+func (c *DiskCache) path(key string) string {
+	return filepath.Join(c.dir, key+".json")
+}
+
+// Get loads one entry; corrupt, mismatched, or stale-scheme entries are
+// misses (with the parse error reported for corrupt ones).
+func (c *DiskCache) Get(key string) (Run, bool, error) {
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Run{}, false, nil
+		}
+		return Run{}, false, err
+	}
+	var f cellFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return Run{}, false, fmt.Errorf("harness: cell cache %s: %w", c.path(key), err)
+	}
+	if f.Schema != CellSchema || f.Key != key {
+		return Run{}, false, nil
+	}
+	if kind, ok := core.SchemeKindByName(f.Scheme); !ok || kind != f.Run.Scheme {
+		return Run{}, false, nil
+	}
+	return f.Run, true, nil
+}
+
+// Put writes one entry atomically.
+func (c *DiskCache) Put(key string, r Run) error {
+	data, err := json.MarshalIndent(cellFile{
+		Schema: CellSchema,
+		Key:    key,
+		Scheme: r.Scheme.String(),
+		Run:    r,
+	}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("harness: marshal cell %s: %w", key, err)
+	}
+	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(append(data, '\n')); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.path(key))
+}
+
+// ---------------------------------------------------------------------------
+// Tiering.
+
+// TieredCache layers caches fastest-first: Get walks the layers in order
+// and backfills every faster layer on a hit; Put writes through to all.
+type TieredCache struct {
+	layers []CellCache
+}
+
+// NewTieredCache composes caches fastest-first.
+func NewTieredCache(layers ...CellCache) *TieredCache {
+	return &TieredCache{layers: layers}
+}
+
+// Get returns the first hit, promoting it into the missed faster layers.
+func (c *TieredCache) Get(key string) (Run, bool, error) {
+	var firstErr error
+	for i, layer := range c.layers {
+		r, ok, err := layer.Get(key)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if ok {
+			for _, upper := range c.layers[:i] {
+				if err := upper.Put(key, r); err != nil && firstErr == nil {
+					firstErr = err
+				}
+			}
+			return r, true, firstErr
+		}
+	}
+	return Run{}, false, firstErr
+}
+
+// Put writes through every layer, returning the first error.
+func (c *TieredCache) Put(key string, r Run) error {
+	var firstErr error
+	for _, layer := range c.layers {
+		if err := layer.Put(key, r); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// OpenCellCache builds the standard cache stack behind the cmds' -cache
+// flag: an in-memory LRU alone when dir is empty, or the LRU over an
+// on-disk JSON store so results persist across processes.
+func OpenCellCache(dir string) (CellCache, error) {
+	mem := NewMemoryCache(0)
+	if dir == "" {
+		return mem, nil
+	}
+	disk, err := NewDiskCache(dir)
+	if err != nil {
+		return nil, err
+	}
+	return NewTieredCache(mem, disk), nil
+}

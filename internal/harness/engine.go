@@ -1,0 +1,234 @@
+package harness
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// The cell engine. Every (config, scheme, benchmark, options) cell is an
+// independent, content-addressed job: its key is CellFingerprint of the
+// inputs plus a simulator version stamp. The engine executes each key at
+// most once — concurrent requests for the same key coalesce onto one
+// simulation (single-flight), repeated requests are served from the
+// CellCache — schedules misses on the shared bounded pool (ParallelDo),
+// and streams every completed cell to its subscribers. Sessions
+// (session.go) assemble matrices and experiments on top of it.
+
+// CellJob names one cell to execute.
+type CellJob struct {
+	Config core.Config
+	Scheme core.SchemeKind
+	Bench  workloads.Profile
+}
+
+// CellResult is one completed cell, streamed to subscribers the moment it
+// resolves (from cache or simulation) — completion order, not enumeration
+// order.
+type CellResult struct {
+	Key    string
+	Job    CellJob
+	Run    Run
+	Cached bool // served from the CellCache without simulating
+}
+
+// EngineStats is the engine's cell accounting. Cells = Hits + Simulated:
+// every request either hit the cache or ran the simulator (single-flight
+// waiters count as hits — the work ran once).
+type EngineStats struct {
+	Cells     int    // cell requests resolved
+	Hits      int    // served from the cache (or a coalesced in-flight run)
+	Simulated int    // actually simulated by this engine
+	SimCycles uint64 // simulated cycles executed (warmup included), misses only
+}
+
+// HitRate returns the fraction of requests served without simulation.
+func (s EngineStats) HitRate() float64 {
+	if s.Cells == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Cells)
+}
+
+// flight is one in-progress cell resolution; concurrent requests for the
+// same key wait on done and share res/err instead of re-simulating.
+type flight struct {
+	done chan struct{}
+	res  CellResult
+	err  error
+}
+
+// Engine executes content-addressed cells at most once per key.
+type Engine struct {
+	version string
+	cache   CellCache // may be nil: single-flight dedup only
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	stats    EngineStats
+
+	emitMu  sync.Mutex // serializes progress lines and subscriber calls
+	subsMu  sync.Mutex
+	subs    map[int]func(CellResult)
+	nextSub int
+}
+
+// NewEngine returns an engine persisting through cache under a
+// fingerprint version stamp (empty: core.SimVersion). With a nil cache
+// only concurrent requests coalesce — at-most-once execution across
+// sequential requests needs the cache, which is why NewSession always
+// supplies one.
+func NewEngine(cache CellCache, version string) *Engine {
+	if version == "" {
+		version = core.SimVersion
+	}
+	return &Engine{
+		version:  version,
+		cache:    cache,
+		inflight: make(map[string]*flight),
+		subs:     make(map[int]func(CellResult)),
+	}
+}
+
+// Stats returns a snapshot of the engine's cell accounting.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Subscribe registers fn to receive every completed cell until the
+// returned cancel function runs. Calls are serialized by the engine but
+// arrive in completion order; fn must not block long (it stalls the
+// completing worker) and must not call back into the engine.
+func (e *Engine) Subscribe(fn func(CellResult)) (cancel func()) {
+	e.subsMu.Lock()
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = fn
+	e.subsMu.Unlock()
+	return func() {
+		e.subsMu.Lock()
+		delete(e.subs, id)
+		e.subsMu.Unlock()
+	}
+}
+
+// emit reports one completed cell. The done counter is advanced inside
+// the emission critical section so progress lines and subscriber calls
+// carry strictly monotone [done/total] numbering.
+func (e *Engine) emit(r CellResult, opts Options, done *int, total int) {
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	*done++
+	suffix := ""
+	if r.Cached {
+		suffix = " (cached)"
+	}
+	opts.logf("harness: [%d/%d] %s/%s/%s IPC %.4f%s",
+		*done, total, r.Run.Config, r.Run.Scheme, r.Run.Bench, r.Run.IPC, suffix)
+	e.subsMu.Lock()
+	fns := make([]func(CellResult), 0, len(e.subs))
+	for _, fn := range e.subs {
+		fns = append(fns, fn)
+	}
+	e.subsMu.Unlock()
+	for _, fn := range fns {
+		fn(r)
+	}
+}
+
+// Key returns the content-addressed key of a job under this engine's
+// version stamp and the result-affecting fields of opts.
+func (e *Engine) Key(job CellJob, opts Options) string {
+	return CellFingerprint(e.version, job.Config, job.Scheme, job.Bench, opts)
+}
+
+// cell resolves one key: cache lookup, then single-flight simulation.
+// Errors are never cached — a failed cell is retried by the next request.
+func (e *Engine) cell(job CellJob, opts Options) (CellResult, error) {
+	key := e.Key(job, opts)
+	for {
+		e.mu.Lock()
+		if f, busy := e.inflight[key]; busy {
+			e.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				continue // the holder failed; claim the key and retry
+			}
+			res := f.res
+			res.Cached = true // coalesced onto the in-flight execution
+			e.mu.Lock()
+			e.stats.Cells++
+			e.stats.Hits++
+			e.mu.Unlock()
+			return res, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		e.inflight[key] = f
+		e.mu.Unlock()
+
+		f.res, f.err = e.resolve(key, job, opts)
+
+		e.mu.Lock()
+		delete(e.inflight, key)
+		if f.err == nil {
+			e.stats.Cells++
+			if f.res.Cached {
+				e.stats.Hits++
+			} else {
+				e.stats.Simulated++
+				e.stats.SimCycles += f.res.Run.TotalCycles
+			}
+		}
+		e.mu.Unlock()
+		close(f.done)
+		return f.res, f.err
+	}
+}
+
+// resolve serves key from the cache or simulates it.
+func (e *Engine) resolve(key string, job CellJob, opts Options) (CellResult, error) {
+	if e.cache != nil {
+		if r, ok, err := e.cache.Get(key); ok {
+			return CellResult{Key: key, Job: job, Run: r, Cached: true}, nil
+		} else if err != nil {
+			opts.logf("harness: cell cache read %s: %v (re-simulating)", key, err)
+		}
+	}
+	r, err := RunOne(job.Config, job.Scheme, job.Bench, opts)
+	if err != nil {
+		return CellResult{}, err
+	}
+	if e.cache != nil {
+		if err := e.cache.Put(key, r); err != nil {
+			opts.logf("harness: cell cache write %s: %v", key, err)
+		}
+	}
+	return CellResult{Key: key, Job: job, Run: r}, nil
+}
+
+// RunCells resolves jobs on a bounded pool of opts.Parallelism workers
+// (zero: all CPUs) and returns their runs in job order. Semantics match
+// the evaluation engine's: fail-fast on the first error, prompt
+// cancellation through ctx, results independent of scheduling order.
+// Progress lines and subscriber streams fire per cell in completion order.
+func (e *Engine) RunCells(ctx context.Context, jobs []CellJob, opts Options) ([]Run, error) {
+	runs := make([]Run, len(jobs))
+	var done int
+	err := ParallelDo(ctx, len(jobs), opts.Parallelism, func(i int) error {
+		res, err := e.cell(jobs[i], opts)
+		if err != nil {
+			return err
+		}
+		runs[i] = res.Run
+		e.emit(res, opts, &done, len(jobs))
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return runs, nil
+}

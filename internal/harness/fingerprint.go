@@ -1,0 +1,55 @@
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// Cell fingerprinting. Every (config, scheme, benchmark, options) cell is
+// content-addressed: its key is a stable hash of everything that can
+// change the simulated result, plus a simulator version stamp
+// (core.SimVersion by default). Equal keys mean equal results, so the
+// engine executes each key at most once and the CellCache can persist
+// results across processes; a model change bumps the stamp and orphans
+// every stale entry instead of serving it.
+
+// cellInputs is the canonical serialization the fingerprint hashes.
+// encoding/json writes fields in declaration order, so the encoding is
+// stable for a given source tree — and the version stamp ties persisted
+// keys to the modeled behaviour, not the source tree.
+type cellInputs struct {
+	Version string            `json:"version"`
+	Config  string            `json:"config"` // core.Config.Fingerprint()
+	Scheme  string            `json:"scheme"` // registered name: stable across kind renumbering
+	Profile workloads.Profile `json:"profile"`
+	Scale   int               `json:"scale"`
+	Warmup  uint64            `json:"warmup"`
+	Measure uint64            `json:"measure"`
+}
+
+// CellFingerprint returns the content-addressed key of one cell under a
+// version stamp. Only result-affecting Options fields participate:
+// Parallelism and Progress change wall-clock behaviour, never results, so
+// they are excluded and a sweep at any -j re-hits the same entries.
+func CellFingerprint(version string, cfg core.Config, kind core.SchemeKind, prof workloads.Profile, opts Options) string {
+	in := cellInputs{
+		Version: version,
+		Config:  cfg.Fingerprint(),
+		Scheme:  kind.String(),
+		Profile: prof,
+		Scale:   max(opts.Scale, 1), // RunOne clamps the same way
+		Warmup:  opts.WarmupCycles,
+		Measure: opts.MeasureCycles,
+	}
+	data, err := json.Marshal(in)
+	if err != nil {
+		panic(fmt.Sprintf("harness: cell fingerprint %s/%s/%s: %v", cfg.Name, kind, prof.Name, err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:16])
+}

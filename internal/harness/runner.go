@@ -2,21 +2,19 @@ package harness
 
 import (
 	"context"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
-// The parallel evaluation engine. RunMatrix enumerates the full
-// (configuration × scheme × benchmark) cross product as independent jobs
-// up front, executes them on the shared worker pool (ParallelDo in
-// parallel.go), and aggregates the results in enumeration order. Every
-// simulation is hermetic (each job builds its own program and core;
-// workloads use a seeded PRNG, not global state), so Matrix contents — and
-// therefore every figure rendered from them — are bit-for-bit identical at
-// any Parallelism setting.
+// The eager sweep entry points, kept as thin compatibility wrappers over
+// the Session/cell-engine path (session.go, engine.go). Every simulation
+// is hermetic (each cell builds its own program and core; workloads use a
+// seeded PRNG, not global state) and aggregation happens in enumeration
+// order, so Matrix contents — and therefore every figure rendered from
+// them — are bit-for-bit identical at any Parallelism setting and at any
+// cache temperature.
 
 // RunMatrix sweeps every (configuration, scheme, benchmark) triple on a
 // worker pool of Options.Parallelism goroutines (default: all CPUs).
@@ -25,46 +23,28 @@ func RunMatrix(configs []core.Config, schemes []core.SchemeKind, benches []workl
 }
 
 // RunMatrixContext is RunMatrix with cancellation. A cancelled context
-// stops the sweep promptly (pending jobs are abandoned between runs) and
-// returns ctx's error; the first job error cancels the remaining work and
+// stops the sweep promptly (pending cells are abandoned between runs) and
+// returns ctx's error; the first cell error cancels the remaining work and
 // is propagated (fail-fast). On error the partial matrix is discarded.
 func RunMatrixContext(ctx context.Context, configs []core.Config, schemes []core.SchemeKind, benches []workloads.Profile, opts Options) (*Matrix, error) {
-	nc, ns, nb := len(configs), len(schemes), len(benches)
-	total := nc * ns * nb
-
-	// Results land in job-index slots, never appended, so completion
-	// order cannot leak into aggregation order.
-	runs := make([]Run, total)
-
-	var (
-		logMu sync.Mutex
-		done  int
-	)
-	jobDone := func(r Run) {
-		logMu.Lock()
-		done++
-		opts.logf("harness: [%d/%d] %s/%s/%s IPC %.4f", done, total, r.Config, r.Scheme, r.Bench, r.IPC)
-		logMu.Unlock()
-	}
-
-	err := ParallelDo(ctx, total, opts.Parallelism, func(idx int) error {
-		ci := idx / (ns * nb)
-		si := idx / nb % ns
-		bi := idx % nb
-		r, err := RunOne(configs[ci], schemes[si], benches[bi], opts)
-		if err != nil {
-			return err
+	if len(schemes) == 0 {
+		// Preserved corner: an explicitly empty scheme set sweeps nothing
+		// (a Session would substitute every registered scheme).
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		runs[idx] = r
-		jobDone(r)
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		return assembleMatrix(configs, nil, benches, nil, opts), nil
 	}
+	s := NewSession(SessionConfig{Options: opts, Schemes: schemes})
+	return s.Matrix(ctx, MatrixSpec{Name: "sweep", Configs: configs, Benches: benches})
+}
 
-	// Aggregate in enumeration order, exactly as the sequential sweep
-	// did, so cell contents and progress output are schedule-independent.
+// assembleMatrix aggregates per-cell runs (in enumeration order: config-
+// major, then scheme, then benchmark — the order enumerateJobs produces)
+// into a Matrix, exactly as the sequential sweep did, so cell contents and
+// summary output are schedule-independent.
+func assembleMatrix(configs []core.Config, schemes []core.SchemeKind, benches []workloads.Profile, runs []Run, opts Options) *Matrix {
+	nb, ns := len(benches), len(schemes)
 	m := &Matrix{
 		Configs: configs,
 		Schemes: schemes,
@@ -87,5 +67,5 @@ func RunMatrixContext(ctx context.Context, configs []core.Config, schemes []core
 			opts.logf("harness: %-8s %-11s mean IPC %.4f", cfg.Name, kind, cell.MeanIPC)
 		}
 	}
-	return m, nil
+	return m
 }

@@ -1,0 +1,382 @@
+package harness
+
+import (
+	"context"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func sessionOptions() Options {
+	o := DefaultOptions()
+	o.WarmupCycles = 1_000
+	o.MeasureCycles = 3_000
+	return o
+}
+
+func sessionBenches(t *testing.T, names ...string) []workloads.Profile {
+	t.Helper()
+	var out []workloads.Profile
+	for _, name := range names {
+		p, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// TestSessionCellAccounting: overlapping matrix requests within one
+// session must be served from the cache, with hits and simulations
+// accounted cell by cell.
+func TestSessionCellAccounting(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(SessionConfig{Options: sessionOptions()})
+	ns := len(core.SchemeKinds())
+
+	mega := []core.Config{core.MegaConfig()}
+	if _, err := s.Matrix(ctx, MatrixSpec{Name: "a", Configs: mega,
+		Benches: sessionBenches(t, "505.mcf")}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Cells != ns || st.Simulated != ns || st.Hits != 0 {
+		t.Fatalf("after first matrix: %+v, want %d simulated cells", st, ns)
+	}
+	if st.SimCycles == 0 {
+		t.Error("simulated cycles not accounted")
+	}
+
+	// A superset spec re-hits the shared cells and simulates only the new
+	// benchmark column.
+	if _, err := s.Matrix(ctx, MatrixSpec{Name: "b", Configs: mega,
+		Benches: sessionBenches(t, "505.mcf", "525.x264")}); err != nil {
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Cells != 3*ns || st.Simulated != 2*ns || st.Hits != ns {
+		t.Errorf("after superset matrix: %+v, want %d hits / %d simulated", st, ns, 2*ns)
+	}
+
+	// An identical spec under a different name is memoized at the matrix
+	// layer: no new cell requests at all.
+	if _, err := s.Matrix(ctx, MatrixSpec{Name: "b2", Configs: mega,
+		Benches: sessionBenches(t, "505.mcf", "525.x264")}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats(); got != st {
+		t.Errorf("re-requesting an assembled matrix changed cell stats: %+v -> %+v", st, got)
+	}
+}
+
+// TestSessionWarmDiskCacheZeroSimulation: a second session over the same
+// disk cache — a fresh process, in effect — must answer without running
+// the simulator at all, with byte-identical figure text.
+func TestSessionWarmDiskCacheZeroSimulation(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := MatrixSpec{Name: "warm", Configs: []core.Config{core.SmallConfig(), core.MegaConfig()},
+		Benches: sessionBenches(t, "505.mcf", "525.x264")}
+
+	open := func() *Session {
+		cache, err := OpenCellCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewSession(SessionConfig{Options: sessionOptions(), Cache: cache})
+	}
+
+	cold := open()
+	m1, err := cold.Matrix(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cold.Stats(); st.Simulated != st.Cells || st.Hits != 0 {
+		t.Fatalf("cold session: %+v, want all simulated", st)
+	}
+
+	warm := open()
+	m2, err := warm.Matrix(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Simulated != 0 || st.SimCycles != 0 {
+		t.Errorf("warm session simulated %d cells / %d cycles, want zero", st.Simulated, st.SimCycles)
+	}
+	if st.Hits != st.Cells || st.Cells == 0 {
+		t.Errorf("warm session: %+v, want all hits", st)
+	}
+	for _, fig := range []struct{ name, a, b string }{
+		{"Figure6", Figure6(m1), Figure6(m2)},
+		{"Figure7", Figure7(m1), Figure7(m2)},
+		{"Table1", Table1(m1), Table1(m2)},
+	} {
+		if fig.a != fig.b {
+			t.Errorf("%s differs between cold and warm sessions:\n--- cold ---\n%s\n--- warm ---\n%s",
+				fig.name, fig.a, fig.b)
+		}
+	}
+}
+
+// TestSessionInvalidation: a version-stamp bump or an Options change must
+// orphan persisted entries — stale results are re-simulated, never
+// served.
+func TestSessionInvalidation(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	spec := MatrixSpec{Name: "inv", Configs: []core.Config{core.MegaConfig()},
+		Benches: sessionBenches(t, "505.mcf")}
+
+	run := func(version string, opts Options) SessionStats {
+		cache, err := OpenCellCache(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSession(SessionConfig{Options: opts, Cache: cache, Version: version})
+		if _, err := s.Matrix(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+		return s.Stats()
+	}
+
+	if st := run("v1", sessionOptions()); st.Simulated != st.Cells {
+		t.Fatalf("first run: %+v, want all simulated", st)
+	}
+	if st := run("v1", sessionOptions()); st.Hits != st.Cells {
+		t.Errorf("same version+options: %+v, want all hits", st)
+	}
+	if st := run("v2", sessionOptions()); st.Simulated != st.Cells {
+		t.Errorf("bumped version served stale cells: %+v", st)
+	}
+	longer := sessionOptions()
+	longer.MeasureCycles += 1_000
+	if st := run("v1", longer); st.Simulated != st.Cells {
+		t.Errorf("changed options served stale cells: %+v", st)
+	}
+	// And the original keys are still intact afterwards.
+	if st := run("v1", sessionOptions()); st.Hits != st.Cells {
+		t.Errorf("original version+options lost its entries: %+v", st)
+	}
+}
+
+// TestSessionStreamDeterminism: the subscriber stream delivers every cell
+// exactly once, and the cell set — like the assembled matrices — is
+// identical at any parallelism.
+func TestSessionStreamDeterminism(t *testing.T) {
+	ctx := context.Background()
+	spec := MatrixSpec{Name: "stream", Configs: []core.Config{core.SmallConfig(), core.MegaConfig()},
+		Benches: sessionBenches(t, "503.bwaves", "505.mcf", "525.x264")}
+
+	type delivery struct {
+		key string
+		ipc float64
+		sim bool
+	}
+	collect := func(parallelism int) ([]delivery, *Matrix) {
+		opts := sessionOptions()
+		opts.Parallelism = parallelism
+		s := NewSession(SessionConfig{Options: opts})
+		var mu sync.Mutex
+		var got []delivery
+		cancel := s.Subscribe(func(r CellResult) {
+			mu.Lock()
+			got = append(got, delivery{key: r.Key, ipc: r.Run.IPC, sim: !r.Cached})
+			mu.Unlock()
+		})
+		defer cancel()
+		m, err := s.Matrix(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i].key < got[j].key })
+		return got, m
+	}
+
+	seq, mseq := collect(1)
+	par, mpar := collect(8)
+	if len(seq) != 2*len(core.SchemeKinds())*3 {
+		t.Fatalf("stream delivered %d cells, want %d", len(seq), 2*len(core.SchemeKinds())*3)
+	}
+	for i := range seq {
+		if i > 0 && seq[i].key == seq[i-1].key {
+			t.Errorf("cell %s delivered twice", seq[i].key)
+		}
+		if seq[i] != par[i] {
+			t.Errorf("stream diverged at %d: seq %+v, par %+v", i, seq[i], par[i])
+		}
+	}
+	if Figure6(mseq) != Figure6(mpar) {
+		t.Error("figures differ between sequential and parallel sessions")
+	}
+}
+
+// TestSessionExperimentCellAccounting is the laziness acceptance check:
+// fig6 simulates exactly the Boom matrix cells (4 configs × schemes × 22
+// benchmarks) and nothing else; table5 adds only the gem5 cells; the
+// analytical experiments add none.
+func TestSessionExperimentCellAccounting(t *testing.T) {
+	ctx := context.Background()
+	s := NewSession(SessionConfig{Options: sessionOptions()})
+	ns := len(core.SchemeKinds())
+	boomCells := 4 * ns * len(workloads.Suite())
+	gem5Cells := 2 * ns * len(workloads.Gem5Comparable())
+
+	if _, err := s.Experiment(ctx, "fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Simulated != boomCells {
+		t.Errorf("fig6 simulated %d cells, want exactly the %d Boom cells", st.Simulated, boomCells)
+	}
+
+	// The other Boom-only experiments re-use the same matrix: no new cells.
+	for _, id := range []string{"table1", "fig1", "fig7", "fig8", "fig10", "table3"} {
+		if _, err := s.Experiment(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Simulated != boomCells {
+		t.Errorf("Boom-only experiments re-simulated: %d cells, want %d", st.Simulated, boomCells)
+	}
+
+	// Analytical experiments cost nothing.
+	for _, id := range []string{"fig9", "table4"} {
+		if _, err := s.Experiment(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.Stats(); st.Cells != boomCells {
+		t.Errorf("analytical experiments requested cells: %+v", st)
+	}
+
+	// table5 adds exactly the gem5 matrix.
+	if _, err := s.Experiment(ctx, "table5"); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Simulated != boomCells+gem5Cells {
+		t.Errorf("table5 simulated %d cells total, want %d", st.Simulated, boomCells+gem5Cells)
+	}
+
+	if _, err := s.Experiment(ctx, "fig99"); err == nil ||
+		!strings.Contains(err.Error(), "unknown experiment") {
+		t.Errorf("unknown experiment: err = %v", err)
+	}
+}
+
+// TestExperimentRegistryDropIn: a registered experiment joins the id
+// enumeration and renders through Session.Experiment with exactly its
+// declared cells — the scheme-registry recipe, applied to experiments.
+func TestExperimentRegistryDropIn(t *testing.T) {
+	ctx := context.Background()
+	spec := ExperimentSpec{
+		ID: "zz-custom", Title: "custom: mcf on mega", Order: 99,
+		Needs: []MatrixSpec{{Name: "zz", Configs: []core.Config{core.MegaConfig()},
+			Benches: sessionBenches(t, "505.mcf")}},
+		Render: func(ms []*Matrix) (string, error) {
+			return "custom mcf IPC", nil
+		},
+	}
+	RegisterExperiment(spec)
+	defer deregisterExperiment(spec.ID)
+
+	ids := ExperimentIDs()
+	if ids[len(ids)-1] != "zz-custom" {
+		t.Fatalf("drop-in id missing from enumeration: %v", ids)
+	}
+	s := NewSession(SessionConfig{Options: sessionOptions()})
+	out, err := s.Experiment(ctx, "zz-custom")
+	if err != nil || out != "custom mcf IPC" {
+		t.Fatalf("drop-in render = %q, %v", out, err)
+	}
+	if st := s.Stats(); st.Cells != len(core.SchemeKinds()) {
+		t.Errorf("drop-in requested %d cells, want %d", st.Cells, len(core.SchemeKinds()))
+	}
+
+	// The compatibility path refuses needs it cannot satisfy instead of
+	// fabricating them — both a missing matrix and one whose name matches
+	// but whose cell set does not.
+	if _, err := RenderExperiment("zz-custom", map[string]*Matrix{}); err == nil {
+		t.Error("RenderExperiment without the needed matrix must error")
+	}
+	wrong, err := RunMatrix([]core.Config{core.SmallConfig()}, core.SchemeKinds(),
+		sessionBenches(t, "525.x264"), sessionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RenderExperiment("table1", map[string]*Matrix{"boom": wrong}); err == nil {
+		t.Error("RenderExperiment must reject a matrix that only shares the needed name")
+	}
+
+	// Registration mistakes fail loudly at init time.
+	for name, bad := range map[string]ExperimentSpec{
+		"duplicate":  spec,
+		"empty id":   {Render: spec.Render},
+		"nil render": {ID: "zz-nil"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s registration must panic", name)
+				}
+			}()
+			RegisterExperiment(bad)
+		}()
+	}
+}
+
+// TestEngineSingleFlight: requests for one key — concurrent (coalesced
+// in flight) or sequential (cache-served) — run the simulator exactly
+// once.
+func TestEngineSingleFlight(t *testing.T) {
+	e := NewEngine(NewMemoryCache(0), "test/v1")
+	job := CellJob{Config: core.MegaConfig(), Scheme: core.KindBaseline,
+		Bench: sessionBenches(t, "505.mcf")[0]}
+	opts := sessionOptions()
+
+	const callers = 8
+	var wg sync.WaitGroup
+	runs := make([]Run, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rs, err := e.RunCells(context.Background(), []CellJob{job}, opts)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			runs[i] = rs[0]
+		}()
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Simulated != 1 || st.Hits != callers-1 || st.Cells != callers {
+		t.Errorf("single-flight stats %+v, want 1 simulated / %d hits", st, callers-1)
+	}
+	for i := 1; i < callers; i++ {
+		if runs[i] != runs[0] {
+			t.Errorf("caller %d got a different run", i)
+		}
+	}
+}
+
+// TestRunMatrixEmptySchemes pins the preserved wrapper corner: an
+// explicitly empty scheme set sweeps nothing and errors nowhere.
+func TestRunMatrixEmptySchemes(t *testing.T) {
+	m, err := RunMatrix([]core.Config{core.MegaConfig()}, nil,
+		sessionBenches(t, "505.mcf"), sessionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumRuns() != 0 {
+		t.Errorf("empty scheme set ran %d cells", m.NumRuns())
+	}
+	if _, ok := m.Cell("mega", core.KindBaseline); ok {
+		t.Error("empty sweep must have no cells")
+	}
+}

@@ -6,28 +6,35 @@
 // an evaluation driver that regenerates every table and figure of the
 // paper (Kvalsvik & Själander, MICRO 2025).
 //
-// Quick start:
+// Quick start — open a Session and render one experiment; only the cells
+// that experiment needs are simulated, each at most once:
 //
-//	eval, err := shadowbinding.NewEvaluation(shadowbinding.DefaultOptions())
-//	fmt.Println(eval.Figure6())
+//	s := shadowbinding.NewSession(shadowbinding.SessionConfig{Options: shadowbinding.DefaultOptions()})
+//	fig, err := s.Experiment(ctx, "fig6")
 //
 // or run a single benchmark:
 //
 //	cfg := shadowbinding.MegaConfig()
 //	run, err := shadowbinding.RunBenchmark(cfg, shadowbinding.STTIssue, "538.imagick", shadowbinding.DefaultOptions())
 //
-// Sweeps execute on a parallel evaluation engine: every (configuration,
-// scheme, benchmark) cell is an independent job run on a bounded worker
-// pool. Options.Parallelism sets the pool size (zero means all CPUs) and
-// results are deterministic — identical matrices and figure text at any
-// parallelism. Long sweeps accept a context for cancellation via
-// NewEvaluationContext and RunMatrix.
+// A Session is the unit of evaluation: every (configuration, scheme,
+// benchmark, options) cell is an independent, content-addressed job —
+// keyed by a fingerprint of its inputs plus a simulator version stamp —
+// executed at most once per key on a bounded worker pool
+// (Options.Parallelism; zero means all CPUs), streamed to subscribers as
+// it completes, and persisted through a pluggable CellCache
+// (OpenCellCache gives the standard in-memory LRU over an on-disk JSON
+// store), so a warm re-run simulates nothing. Results are deterministic:
+// identical matrices and figure text at any parallelism and any cache
+// temperature. NewEvaluation and RunMatrix remain as eager compatibility
+// wrappers over the same engine.
 //
-// Schemes are open-ended: the built-in four live in a registry
-// (core.RegisterScheme) and everything here — Schemes, SecureSchemes,
-// SchemeByName, the evaluation sweeps — enumerates the registry, so a
-// drop-in scheme file in internal/core shows up everywhere without
-// touching pipeline or harness code.
+// Schemes and experiments are open-ended: both live in registries
+// (core.RegisterScheme, RegisterExperiment) and everything here — the
+// Schemes/SecureSchemes/ExperimentIDs enumerations, SchemeByName, every
+// Session — enumerates them, so a drop-in scheme file in internal/core or
+// a drop-in experiment registration shows up in every cmd and example
+// without touching pipeline, harness, or facade code.
 package shadowbinding
 
 import (
@@ -64,7 +71,60 @@ type (
 	TraceReport = trace.Report
 	// BenchReport is one simulator-throughput measurement (BENCH_core.json).
 	BenchReport = harness.BenchReport
+
+	// Session is a long-lived, lazy evaluation context over the cell
+	// engine: matrices and experiments are materialized on demand from
+	// content-addressed, cacheable cells.
+	Session = harness.Session
+	// SessionConfig parameterizes NewSession.
+	SessionConfig = harness.SessionConfig
+	// SessionStats is a session's cell accounting (requests, cache hits,
+	// simulations, simulated cycles).
+	SessionStats = harness.SessionStats
+	// CellCache persists content-addressed cell results.
+	CellCache = harness.CellCache
+	// CellResult is one completed cell streamed to Session subscribers.
+	CellResult = harness.CellResult
+	// MatrixSpec declares a cell set as a configurations × benchmarks
+	// cross product (schemes come from the session).
+	MatrixSpec = harness.MatrixSpec
+	// ExperimentSpec describes one experiment to the registry.
+	ExperimentSpec = harness.ExperimentSpec
 )
+
+// The Session API surface, backed by the harness cell engine.
+var (
+	// NewSession opens a lazy evaluation session.
+	NewSession = harness.NewSession
+	// OpenCellCache builds the standard cache stack: an in-memory LRU,
+	// over an on-disk JSON store when dir is non-empty.
+	OpenCellCache = harness.OpenCellCache
+	// NewMemoryCache returns a bounded in-memory LRU cell store.
+	NewMemoryCache = harness.NewMemoryCache
+	// NewDiskCache opens an on-disk JSON cell store.
+	NewDiskCache = harness.NewDiskCache
+	// NewTieredCache layers cell caches fastest-first.
+	NewTieredCache = harness.NewTieredCache
+
+	// RegisterExperiment adds a drop-in experiment: its id joins
+	// ExperimentIDs, every cmd's -experiment flag, and Session.Experiment.
+	RegisterExperiment = harness.RegisterExperiment
+	// Experiments returns every registered experiment in presentation
+	// order.
+	Experiments = harness.Experiments
+	// ExperimentIDs lists the registered experiment ids accepted by
+	// Session.Experiment and (*Evaluation).Experiment.
+	ExperimentIDs = harness.ExperimentIDs
+
+	// BoomSpec is the paper's main matrix (4 BOOM configs × full suite);
+	// Gem5Spec the Section 8.6 comparison matrix.
+	BoomSpec = harness.BoomSpec
+	Gem5Spec = harness.Gem5Spec
+)
+
+// SimVersion is the simulator version stamp embedded in every cell
+// fingerprint; cached results from other versions are never served.
+const SimVersion = core.SimVersion
 
 // Throughput reporting (BENCH_core.json), backed by the harness.
 var (
@@ -221,7 +281,10 @@ func ReplayFuzzCase(c FuzzCase) error {
 
 // Evaluation holds the measured matrices behind the paper's tables and
 // figures: the four BOOM configurations over the full suite, plus the
-// gem5-style configurations over the 19-benchmark comparable suite.
+// gem5-style configurations over the 19-benchmark comparable suite. It is
+// the eager compatibility wrapper over a Session — both matrices are
+// materialized up front; prefer a Session to simulate (and cache) only
+// what a given experiment needs.
 type Evaluation struct {
 	Boom *harness.Matrix
 	Gem5 *harness.Matrix
@@ -235,19 +298,24 @@ func NewEvaluation(opts Options) (*Evaluation, error) {
 
 // NewEvaluationContext is NewEvaluation restricted to a scheme subset and
 // cancellable through ctx. The baseline is always included: the figures
-// normalize against it.
+// normalize against it. Both matrices are materialized eagerly through a
+// default (memory-cached, process-private) Session.
 func NewEvaluationContext(ctx context.Context, schemes []Scheme, opts Options) (*Evaluation, error) {
 	if len(schemes) == 0 {
 		schemes = Schemes()
 	}
-	schemes = WithBaseline(schemes)
-	boom, err := harness.RunMatrixContext(ctx, core.Configs(), schemes, workloads.Suite(), opts)
+	s := NewSession(SessionConfig{Options: opts, Schemes: WithBaseline(schemes)})
+	return EvaluationFromSession(ctx, s)
+}
+
+// EvaluationFromSession materializes both evaluation matrices through an
+// existing session — with a warm CellCache this costs zero simulation.
+func EvaluationFromSession(ctx context.Context, s *Session) (*Evaluation, error) {
+	boom, err := s.Matrix(ctx, BoomSpec())
 	if err != nil {
 		return nil, err
 	}
-	gem5, err := harness.RunMatrixContext(ctx,
-		[]core.Config{core.Gem5STTConfig(), core.Gem5NDAConfig()},
-		schemes, workloads.Gem5Comparable(), opts)
+	gem5, err := s.Matrix(ctx, Gem5Spec())
 	if err != nil {
 		return nil, err
 	}
@@ -311,33 +379,14 @@ func SecurityReport() (string, error) {
 	return b.String(), nil
 }
 
-// ExperimentIDs lists the ids accepted by (*Evaluation).Experiment.
-func ExperimentIDs() []string {
-	return []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "table5"}
-}
-
-// Experiment renders one experiment by id ("fig1" is an alias for the
-// Table 3 performance data it plots).
+// Experiment renders one registered experiment by id from the eagerly
+// swept matrices ("fig1" is an alias for the Table 3 performance data it
+// plots). Dispatch goes through the experiment registry, so drop-in
+// experiments whose needs are covered by the Boom/Gem5 matrices render
+// here too; experiments needing other cell sets require a Session.
 func (e *Evaluation) Experiment(id string) (string, error) {
-	switch id {
-	case "table1":
-		return e.Table1(), nil
-	case "fig6":
-		return e.Figure6(), nil
-	case "fig7":
-		return e.Figure7(), nil
-	case "fig8":
-		return e.Figure8(), nil
-	case "fig9":
-		return e.Figure9(), nil
-	case "fig10":
-		return e.Figure10(), nil
-	case "fig1", "table3":
-		return e.Table3(), nil
-	case "table4":
-		return e.Table4(), nil
-	case "table5":
-		return e.Table5(), nil
-	}
-	return "", fmt.Errorf("shadowbinding: unknown experiment %q (known: %s)", id, strings.Join(ExperimentIDs(), ", "))
+	return harness.RenderExperiment(id, map[string]*harness.Matrix{
+		"boom": e.Boom,
+		"gem5": e.Gem5,
+	})
 }

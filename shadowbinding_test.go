@@ -112,6 +112,61 @@ func TestSpectreFacade(t *testing.T) {
 	}
 }
 
+// TestSessionFacade drives the Session API end to end through the public
+// surface: lazy experiments, cell accounting, and the registry-backed id
+// enumeration (whose historical order is pinned — cmd output depends on
+// it).
+func TestSessionFacade(t *testing.T) {
+	want := []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "table5"}
+	got := ExperimentIDs()
+	if len(got) != len(want) {
+		t.Fatalf("ExperimentIDs() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExperimentIDs()[%d] = %q, want %q (presentation order is pinned)", i, got[i], want[i])
+		}
+	}
+
+	opts := DefaultOptions()
+	opts.WarmupCycles = 1_000
+	opts.MeasureCycles = 3_000
+	s := NewSession(SessionConfig{Options: opts})
+	ctx := context.Background()
+
+	// Analytical experiments simulate nothing.
+	out, err := s.Experiment(ctx, "table4")
+	if err != nil || len(out) < 50 {
+		t.Fatalf("table4 = %q, %v", out, err)
+	}
+	if st := s.Stats(); st.Cells != 0 {
+		t.Errorf("table4 requested %d cells, want 0", st.Cells)
+	}
+
+	// A custom spec through the facade: one config, one benchmark.
+	prof, err := BenchmarkByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := s.Matrix(ctx, MatrixSpec{Name: "facade", Configs: []Config{MegaConfig()}, Benches: []Benchmark{prof}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MeanIPC("mega", Baseline) <= 0 {
+		t.Error("facade matrix missing baseline IPC")
+	}
+	if st := s.Stats(); st.Simulated != len(Schemes()) {
+		t.Errorf("simulated %d cells, want %d", st.Simulated, len(Schemes()))
+	}
+	// Re-running a single cell hits the session cache.
+	if _, err := s.Run(ctx, MegaConfig(), Baseline, prof); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.Hits != 1 {
+		t.Errorf("re-run cell hits = %d, want 1", st.Hits)
+	}
+}
+
 func TestExperimentIDs(t *testing.T) {
 	opts := DefaultOptions()
 	opts.WarmupCycles = 1_000
