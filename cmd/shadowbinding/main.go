@@ -9,6 +9,7 @@
 //	shadowbinding -experiment all
 //	shadowbinding -experiment fig6 -measure 100000
 //	shadowbinding -experiment fig7 -schemes stt-issue,nda -j 4
+//	shadowbinding -experiment fig_ext                    # all schemes head-to-head
 //	shadowbinding -experiment table1 -cache ~/.cache/shadowbinding   # warm runs are free
 //	shadowbinding -experiment security
 //

@@ -16,6 +16,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	sb "repro"
@@ -28,7 +29,7 @@ const tool = "specrun"
 func main() {
 	bench := flag.String("bench", "548.exchange2", "benchmark name (see -list)")
 	config := flag.String("config", "mega", "configuration: small, medium, large, mega, gem5-stt, gem5-nda")
-	scheme := flag.String("scheme", "stt-rename", "single scheme: baseline, stt-rename, stt-issue, nda")
+	scheme := flag.String("scheme", "stt-rename", "single scheme: "+strings.Join(sb.SchemeNames(), ", "))
 	warmup := flag.Uint64("warmup", 8_000, "warmup cycles")
 	measure := flag.Uint64("measure", 32_000, "measured cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")

@@ -14,7 +14,11 @@
 // in the cache; a real attacker would recover it by timing. The simulator
 // simply inspects the tag arrays. Under STT the transmitter load is
 // blocked while tainted; under NDA the secret value's broadcast is
-// withheld; either way the secret-indexed line must never be filled.
+// withheld; under DoM the transmitter's speculative miss is delayed past
+// the squash; under InvisiSpec it runs invisibly and is never exposed —
+// whatever the mechanism, the secret-indexed line must never be filled.
+// The suites enumerate core.SecureSchemeKinds(), so a drop-in scheme is
+// attack-tested the moment it registers.
 package attack
 
 import (

@@ -1,0 +1,73 @@
+package cliutil
+
+import (
+	"fmt"
+
+	sb "repro"
+)
+
+// The CI bench-regression gate's comparison logic (the go-run-able front
+// end lives in internal/cliutil/benchcheck). The gate compares one labeled
+// run between the committed baseline (BENCH_baseline.json, updated
+// deliberately when a perf change lands) and the freshly emitted
+// BENCH_core.json, and fails when sim_cycles_per_sec regressed past the
+// allowed percentage. The threshold is generous (25% by default) because
+// shared CI runners are noisy; the gate exists to catch the accidental
+// 2x, not to litigate 3%.
+
+// CheckBenchRegression compares the labeled run across the two files. It
+// returns a one-line summary on success and an error when the label is
+// missing from current, either file is structurally invalid, or the
+// current throughput fell more than maxRegressPct percent below the
+// baseline's. A label absent from the baseline passes with a note — that
+// is how a new benchmark enters the trajectory before its first committed
+// baseline.
+func CheckBenchRegression(baseline, current sb.BenchFile, label string, maxRegressPct float64) (string, error) {
+	if maxRegressPct <= 0 || maxRegressPct >= 100 {
+		return "", fmt.Errorf("benchcheck: max regression %.1f%% out of range (0, 100)", maxRegressPct)
+	}
+	if err := current.Validate(); err != nil {
+		return "", fmt.Errorf("benchcheck: current report invalid: %w", err)
+	}
+	cur, ok := findRun(current, label)
+	if !ok {
+		return "", fmt.Errorf("benchcheck: current report has no %q run (labels: %v)", label, labels(current))
+	}
+	// Validate the baseline BEFORE the missing-label fallback: a baseline
+	// truncated or mangled by a bad merge must fail the gate loudly, not
+	// read as "new benchmark entering the trajectory" and silently
+	// disable the regression check.
+	if err := baseline.Validate(); err != nil {
+		return "", fmt.Errorf("benchcheck: baseline report invalid: %w", err)
+	}
+	base, ok := findRun(baseline, label)
+	if !ok {
+		return fmt.Sprintf("%s: no committed baseline yet (%.0f simCycles/s measured); commit BENCH_baseline.json to start the trajectory",
+			label, cur.SimCyclesPerSec), nil
+	}
+	change := 100 * (cur.SimCyclesPerSec - base.SimCyclesPerSec) / base.SimCyclesPerSec
+	if change < -maxRegressPct {
+		return "", fmt.Errorf(
+			"benchcheck: %s regressed %.1f%% (limit %.0f%%): %.0f simCycles/s, baseline %.0f; if the slowdown is intentional, update BENCH_baseline.json",
+			label, -change, maxRegressPct, cur.SimCyclesPerSec, base.SimCyclesPerSec)
+	}
+	return fmt.Sprintf("%s: %.0f simCycles/s vs baseline %.0f (%+.1f%%, limit -%.0f%%)",
+		label, cur.SimCyclesPerSec, base.SimCyclesPerSec, change, maxRegressPct), nil
+}
+
+func findRun(f sb.BenchFile, label string) (sb.BenchReport, bool) {
+	for _, r := range f.Runs {
+		if r.Label == label {
+			return r, true
+		}
+	}
+	return sb.BenchReport{}, false
+}
+
+func labels(f sb.BenchFile) []string {
+	out := make([]string, len(f.Runs))
+	for i, r := range f.Runs {
+		out[i] = r.Label
+	}
+	return out
+}

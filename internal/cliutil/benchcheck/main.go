@@ -1,0 +1,49 @@
+// Command benchcheck is the CI bench-regression gate: it compares the
+// freshly emitted BENCH_core.json against the committed baseline
+// (BENCH_baseline.json) and exits non-zero when the labeled run's
+// sim_cycles_per_sec regressed more than the allowed percentage.
+//
+// Usage (what the CI "Bench regression gate" step runs):
+//
+//	go test -bench=BenchmarkCoreMatrixThroughput -benchtime=1x -short -run '^$' .
+//	go run ./internal/cliutil/benchcheck -label short-matrix-j1 -max-regress 25
+//
+// The comparison is absolute throughput, so the committed baseline must
+// come from the same machine class that runs the gate. Updating the
+// trajectory (after an intentional perf change, or to re-anchor on the
+// CI runners) uses the BENCH_core artifact uploaded by a green CI run:
+//
+//	cp BENCH_core.json BENCH_baseline.json && git add BENCH_baseline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	sb "repro"
+	"repro/internal/cliutil"
+)
+
+const tool = "benchcheck"
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
+	current := flag.String("current", "BENCH_core.json", "freshly emitted report to check")
+	label := flag.String("label", "short-matrix-j1", "run label to compare")
+	maxRegress := flag.Float64("max-regress", 25, "fail when sim_cycles_per_sec drops more than this percentage")
+	flag.Parse()
+
+	base, err := sb.ReadBenchReport(*baseline)
+	if err != nil {
+		cliutil.Fatal(tool, fmt.Errorf("baseline %s: %w", *baseline, err))
+	}
+	cur, err := sb.ReadBenchReport(*current)
+	if err != nil {
+		cliutil.Fatal(tool, fmt.Errorf("current %s: %w", *current, err))
+	}
+	summary, err := cliutil.CheckBenchRegression(base, cur, *label, *maxRegress)
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	fmt.Printf("%s: %s\n", tool, summary)
+}

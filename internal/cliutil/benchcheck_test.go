@@ -1,0 +1,89 @@
+package cliutil
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	sb "repro"
+)
+
+func benchFile(label string, cyclesPerSec float64) sb.BenchFile {
+	// NewBenchReport derives the rate from cycles/wall; one second of wall
+	// time makes the rate equal the cycle count.
+	rep := sb.NewBenchReport(label, 32, uint64(cyclesPerSec), time.Second, 1)
+	return sb.BenchFile{
+		Schema:          "shadowbinding-bench/v1",
+		Runs:            []sb.BenchReport{rep},
+		SimCycles:       rep.SimCycles,
+		WallSeconds:     rep.WallSeconds,
+		SimCyclesPerSec: rep.SimCyclesPerSec,
+	}
+}
+
+func TestBenchRegressionGate(t *testing.T) {
+	base := benchFile("short-matrix-j1", 1_000_000)
+
+	// Within the limit: noise-level dips and improvements both pass.
+	for _, cur := range []float64{990_000, 760_000, 1_500_000} {
+		summary, err := CheckBenchRegression(base, benchFile("short-matrix-j1", cur), "short-matrix-j1", 25)
+		if err != nil {
+			t.Errorf("current %.0f: unexpected failure: %v", cur, err)
+		}
+		if !strings.Contains(summary, "short-matrix-j1") {
+			t.Errorf("summary %q missing the label", summary)
+		}
+	}
+
+	// Past the limit: fail, with both numbers in the message.
+	_, err := CheckBenchRegression(base, benchFile("short-matrix-j1", 700_000), "short-matrix-j1", 25)
+	if err == nil {
+		t.Fatal("30% regression passed a 25% gate")
+	}
+	for _, want := range []string{"regressed", "700000", "1000000"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestBenchRegressionGateEdges(t *testing.T) {
+	base := benchFile("short-matrix-j1", 1_000_000)
+
+	// The label must exist in the current report — a vanished measurement
+	// is a broken gate, not a pass.
+	if _, err := CheckBenchRegression(base, benchFile("other", 1), "short-matrix-j1", 25); err == nil {
+		t.Error("missing current label passed")
+	}
+
+	// A label with no committed baseline passes with a start-the-trajectory
+	// note (how a new benchmark enters the gate).
+	summary, err := CheckBenchRegression(benchFile("other", 1_000_000), benchFile("short-matrix-j1", 500_000), "short-matrix-j1", 25)
+	if err != nil {
+		t.Errorf("label without baseline must pass: %v", err)
+	}
+	if !strings.Contains(summary, "no committed baseline") {
+		t.Errorf("summary %q missing the no-baseline note", summary)
+	}
+
+	// Corrupt current report (bad schema): refused.
+	bad := benchFile("short-matrix-j1", 1_000_000)
+	bad.Schema = "bogus"
+	if _, err := CheckBenchRegression(base, bad, "short-matrix-j1", 25); err == nil {
+		t.Error("invalid current report passed")
+	}
+
+	// Corrupt baseline (e.g. truncated to {} by a bad merge): refused —
+	// it must NOT read as "no committed baseline yet" and silently
+	// disable the gate.
+	if _, err := CheckBenchRegression(sb.BenchFile{}, benchFile("short-matrix-j1", 1_000_000), "short-matrix-j1", 25); err == nil {
+		t.Error("corrupt baseline passed as start-of-trajectory")
+	}
+
+	// Nonsensical thresholds: refused.
+	for _, pct := range []float64{0, -5, 100} {
+		if _, err := CheckBenchRegression(base, base, "short-matrix-j1", pct); err == nil {
+			t.Errorf("threshold %.0f accepted", pct)
+		}
+	}
+}

@@ -1,7 +1,10 @@
 // Package core implements the ShadowBinding out-of-order processor model:
 // a cycle-level, execute-driven superscalar pipeline in the style of the
 // Berkeley Out-of-Order Machine, together with the paper's three secure
-// speculation microarchitectures (STT-Rename, STT-Issue, NDA-Permissive).
+// speculation microarchitectures (STT-Rename, STT-Issue, NDA-Permissive)
+// and the two classic comparison points from the wider literature —
+// Delay-on-Miss (dom.go) and InvisiSpec-style invisible loads
+// (invisispec.go) — as registry drop-ins.
 //
 // The pipeline executes speculatively down predicted paths — including
 // wrong paths, which is what makes the Spectre v1 reproduction in
@@ -247,6 +250,19 @@ func (c *Core) commitStage() {
 			c.flushPipeline(u.pc)
 			return
 		}
+		if u.invisible {
+			// InvisiSpec: an invisible load cannot retire before its
+			// exposure re-access completes. Commit can outrun the
+			// visibility-point walk within a cycle, so the exposure may
+			// have to start here; reaching commit proves non-speculation.
+			u.nonSpec = true
+			if !u.exposed && !c.exposeLoad(u, c.cycle) {
+				return // all MSHRs busy; retry next cycle
+			}
+			if u.exposeDoneAt > c.cycle {
+				return // exposure in flight; the load stalls at the head
+			}
+		}
 		c.rob.pop()
 		if c.vpDone > 0 {
 			// Head pop shifts the visibility-point walk's resume offset.
@@ -399,8 +415,23 @@ func (c *Core) vpStage() {
 			// declared safe and broadcast.
 			return false
 		}
+		// Every guard above has passed: the uop is at the visibility
+		// point. Mark it before the exposure re-access so the probe can
+		// observe (rather than assume) that exposures are never
+		// speculative — a load whose exposure stalls on a busy MSHR is
+		// already safe, it just hasn't paid the re-access yet.
 		u.nonSpec = true
+		if u.invisible && !u.exposed && !c.exposeLoad(u, c.cycle) {
+			// InvisiSpec exposure needs an MSHR and none is free: the
+			// walk stalls here and retries next cycle.
+			return false
+		}
 		if u.isLoad() {
+			if u.missDelayed && u.state == stateWaiting {
+				// Delay-on-Miss wakeup: the miss is non-speculative now;
+				// the parked load may re-attempt its access next cycle.
+				u.retryAt = c.cycle + 1
+			}
 			u.inNonSpecQ = true
 			c.nonSpecLoadQ = append(c.nonSpecLoadQ, u)
 		}
@@ -439,6 +470,36 @@ func (c *Core) vpStage() {
 			}
 		}
 	}
+}
+
+// exposeLoad performs the InvisiSpec exposure re-access for an invisible
+// load that reached the visibility point (or commit): the real hierarchy
+// access — fills, MSHR occupancy, prefetcher training — whose completion
+// gates the load's commit. It reports false when every MSHR is busy; the
+// caller retries next cycle (fills drain on their own, so this cannot
+// wedge).
+func (c *Core) exposeLoad(u *uop, now uint64) bool {
+	if u.exposeTried == now+1 {
+		// commitStage already attempted (and failed) this exposure this
+		// cycle; the visibility-point walk runs after it and must not
+		// probe the MSHR file again — one stalled cycle is one retry,
+		// not two.
+		return false
+	}
+	done, hit, ok := c.hier.Load(u.pc, u.addr, now)
+	if !ok {
+		u.exposeTried = now + 1
+		c.Stats.ExposureRetries++
+		return false
+	}
+	u.exposed = true
+	u.exposeDoneAt = done
+	c.lsu.specBufDrop(u)
+	c.Stats.Exposures++
+	if c.Probe != nil {
+		c.probeCacheAccess(u, now, CacheAccessExposure, hit)
+	}
+	return true
 }
 
 // ---------------------------------------------------------------------------
@@ -537,6 +598,10 @@ func (c *Core) resolveControl(u *uop, conditional bool) {
 func (c *Core) reclaim(u *uop) {
 	c.Stats.SquashedUops++
 	u.state = stateSquashed
+	// A squashed invisible load is discarded from the speculative buffer
+	// without ever being exposed — no cache state was touched, none will
+	// be (the InvisiSpec security argument).
+	c.lsu.specBufDrop(u)
 	if u.pd != noReg {
 		c.prf.release(u.pd)
 		u.pd = noReg
@@ -763,7 +828,42 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		u.doneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat + c.cfg.FwdLat
 		u.hitL1 = true
 	case fwdNone:
-		done, hit, ok := c.hier.Load(u.pc, u.addr, c.cycle+c.cfg.ExecDelay+c.cfg.AGULat)
+		at := c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
+		if !u.nonSpec && c.sch.delaysSpecMiss() {
+			if _, hit := c.hier.Peek(u.addr, at); !hit {
+				// Delay-on-Miss: a speculative miss must leave no trace in
+				// the hierarchy. The load parks until the visibility-point
+				// walk marks it non-speculative and re-arms its retryAt
+				// (value prediction off: dependents simply wait).
+				// The park happens exactly once per load: the only
+				// re-arm path (the visibility-point walk) marks the
+				// load non-speculative first, so a woken load can
+				// never re-enter this branch.
+				u.missDelayed = true
+				c.Stats.DoMDelayedLoads++
+				u.retryAt = neverRetry
+				return false
+			}
+		}
+		if !u.nonSpec && c.sch.invisibleSpecLoads() {
+			// InvisiSpec: the access goes to the per-load speculative
+			// buffer — hierarchy latency, none of its side effects. The
+			// exposure re-access happens at the visibility point.
+			done, hit := c.hier.Peek(u.addr, at)
+			u.result = c.main.Read(u.addr)
+			u.doneAt = done
+			u.hitL1 = hit
+			u.invisible = true
+			if n := c.lsu.specBufAdd(u); n > c.Stats.SpecBufPeak {
+				c.Stats.SpecBufPeak = n
+			}
+			c.Stats.InvisibleLoads++
+			if c.Probe != nil {
+				c.probeCacheAccess(u, at, CacheAccessInvisible, hit)
+			}
+			break
+		}
+		done, hit, ok := c.hier.Load(u.pc, u.addr, at)
 		if !ok {
 			c.Stats.MSHRRetries++
 			u.retryAt = c.cycle + 2
@@ -772,6 +872,9 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		u.result = c.main.Read(u.addr)
 		u.doneAt = done
 		u.hitL1 = hit
+		if c.Probe != nil {
+			c.probeCacheAccess(u, at, CacheAccessDemand, hit)
+		}
 	}
 	c.Stats.IssuedUops++
 	if !u.nonSpec {

@@ -1,0 +1,23 @@
+package core
+
+// Test-only accessors, visible to the external core_test package within
+// this test binary. The fault-injection switches sabotage exactly the
+// mechanism each scheme's security argument rests on, so the differential
+// oracle's mutation tests (mutation_test.go) can prove its Probe
+// invariants actually bite.
+
+// SetDoMDelayDisabledForTest disables Delay-on-Miss's speculative-miss
+// delay, degrading dom to baseline behaviour. Returns a restore func.
+func SetDoMDelayDisabledForTest(v bool) (restore func()) {
+	prev := domDelayDisabled
+	domDelayDisabled = v
+	return func() { domDelayDisabled = prev }
+}
+
+// SetInvisiBufferDisabledForTest disables InvisiSpec's speculative buffer,
+// degrading invisispec to baseline behaviour. Returns a restore func.
+func SetInvisiBufferDisabledForTest(v bool) (restore func()) {
+	prev := invisiBufferDisabled
+	invisiBufferDisabled = v
+	return func() { invisiBufferDisabled = prev }
+}

@@ -15,6 +15,12 @@ package core
 type lsu struct {
 	lq []*uop
 	sq []*uop
+
+	// specBufLive counts the live InvisiSpec speculative-buffer entries.
+	// The buffer is modeled per load-queue entry (an invisible load holds
+	// one from issue until exposure or squash), so occupancy is bounded by
+	// LQSize — the hardware sizing the Stats.SpecBufPeak counter reports.
+	specBufLive int
 }
 
 func newLSU() *lsu { return &lsu{} }
@@ -90,6 +96,25 @@ func (l *lsu) checkViolations(st *uop) int {
 		}
 	}
 	return n
+}
+
+// specBufAdd claims a speculative-buffer entry for an invisible load and
+// returns the new occupancy (for the peak statistic).
+func (l *lsu) specBufAdd(u *uop) int {
+	u.inSpecBuf = true
+	l.specBufLive++
+	return l.specBufLive
+}
+
+// specBufDrop releases a load's speculative-buffer entry, if it holds one:
+// at exposure, or when a squash kills the load before it ever reached the
+// visibility point (the no-side-effect discard that makes wrong-path
+// invisible loads invisible for good).
+func (l *lsu) specBufDrop(u *uop) {
+	if u.inSpecBuf {
+		u.inSpecBuf = false
+		l.specBufLive--
+	}
 }
 
 // commitOldest removes the queue head for a committing load or store.

@@ -26,3 +26,5 @@ func (nda) canSelect(*uop, issuePart) bool { return true }
 func (nda) onIssue(*uop, issuePart) bool   { return true }
 func (nda) delaysLoadBroadcast() bool      { return true }
 func (nda) specWakeup(bool) bool           { return false }
+func (nda) delaysSpecMiss() bool           { return false }
+func (nda) invisibleSpecLoads() bool       { return false }

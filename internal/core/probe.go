@@ -27,6 +27,12 @@ type Probe interface {
 	// otherwise, or — under NDA's delayed broadcast — when the visibility
 	// point or commit releases a withheld broadcast.
 	OnLoadBroadcast(ev BroadcastEvent)
+	// OnCacheAccess fires when a load touches (or, invisibly, bypasses)
+	// the data-cache hierarchy: a demand access from the LSU, an
+	// InvisiSpec invisible-buffer access, or an exposure re-access at the
+	// visibility point. The DoM and InvisiSpec security invariants are
+	// stated over these events.
+	OnCacheAccess(ev CacheAccessEvent)
 }
 
 // IssuePart identifies which half of a store issued; everything else
@@ -76,6 +82,46 @@ type BroadcastEvent struct {
 	Delayed bool
 }
 
+// CacheAccessKind classifies a load's cache-hierarchy interaction.
+type CacheAccessKind uint8
+
+const (
+	// CacheAccessDemand is a normal LSU access: it updates replacement
+	// state and, on an L1 miss, allocates (or merges into) an MSHR and
+	// fills the line — the side effects a cache attacker observes.
+	CacheAccessDemand CacheAccessKind = iota
+	// CacheAccessInvisible is an InvisiSpec speculative-buffer access: the
+	// latency of the hierarchy with none of its side effects.
+	CacheAccessInvisible
+	// CacheAccessExposure is the InvisiSpec re-access performed when an
+	// invisible load reaches the visibility point (or commit), installing
+	// the line for real. The oracle asserts exposures are never
+	// speculative; the Speculative field reports the uop's actual flag
+	// so that assertion is falsifiable.
+	CacheAccessExposure
+)
+
+// CacheAccessEvent describes one load/cache interaction.
+type CacheAccessEvent struct {
+	Cycle uint64 // cycle the access starts
+	Seq   uint64
+	PC    uint64
+	Addr  uint64
+	Kind  CacheAccessKind
+	// Speculative reports whether the load had not yet passed the
+	// visibility point when the access started.
+	Speculative bool
+	// HitL1 reports whether the access hit (or, for invisible accesses,
+	// would have hit) in the L1.
+	HitL1 bool
+	// MSHR reports whether the access occupies an MSHR past the L1 — true
+	// exactly for demand and exposure misses. A scheme that delays
+	// speculative misses (DoM) must never produce a speculative event with
+	// MSHR set; a scheme with invisible loads (InvisiSpec) must never
+	// produce a speculative event that is not CacheAccessInvisible.
+	MSHR bool
+}
+
 // taintQuerier is implemented by taint-tracking schemes to give the probe
 // dispatch a read-only view of the taint governing an issuing part. It is
 // queried only when a Probe is attached.
@@ -110,5 +156,24 @@ func (c *Core) probeBroadcast(u *uop, at uint64, speculative, delayed bool) {
 		PC:          u.pc,
 		Speculative: speculative,
 		Delayed:     delayed,
+	})
+}
+
+// probeCacheAccess reports one load/cache interaction to the attached
+// Probe. Callers check c.Probe != nil first. Speculative is derived
+// uniformly from the uop's visibility flag — both exposure call sites
+// mark the uop non-speculative before re-accessing, so a speculative
+// exposure is a genuine invariant violation the oracle can catch, not
+// an artifact the probe paper over.
+func (c *Core) probeCacheAccess(u *uop, at uint64, kind CacheAccessKind, hitL1 bool) {
+	c.Probe.OnCacheAccess(CacheAccessEvent{
+		Cycle:       at,
+		Seq:         u.seq,
+		PC:          u.pc,
+		Addr:        u.addr,
+		Kind:        kind,
+		Speculative: !u.nonSpec,
+		HitL1:       hitL1,
+		MSHR:        kind != CacheAccessInvisible && !hitL1,
 	})
 }

@@ -7,6 +7,11 @@ type countingProbe struct {
 	issues, broadcasts int
 	taintedTransmit    int
 	specBroadcasts     int
+
+	cacheAccesses int
+	specMSHRs     int // speculative accesses occupying an MSHR
+	specVisible   int // speculative accesses that were not invisible
+	exposures     int
 }
 
 func (p *countingProbe) OnIssue(ev IssueEvent) {
@@ -20,6 +25,19 @@ func (p *countingProbe) OnLoadBroadcast(ev BroadcastEvent) {
 	p.broadcasts++
 	if ev.Speculative {
 		p.specBroadcasts++
+	}
+}
+
+func (p *countingProbe) OnCacheAccess(ev CacheAccessEvent) {
+	p.cacheAccesses++
+	if ev.Speculative && ev.MSHR {
+		p.specMSHRs++
+	}
+	if ev.Speculative && ev.Kind != CacheAccessInvisible {
+		p.specVisible++
+	}
+	if ev.Kind == CacheAccessExposure {
+		p.exposures++
 	}
 }
 
@@ -66,5 +84,21 @@ func TestProbeSecurityInvariantsOnProxies(t *testing.T) {
 	hashedRun(t, cfg, KindNDA, "505.mcf", probeBudget, probe)
 	if probe.specBroadcasts > 0 {
 		t.Errorf("nda: %d speculative load broadcasts released", probe.specBroadcasts)
+	}
+
+	// DoM: no speculative load may occupy an MSHR past the L1.
+	dom := &countingProbe{}
+	hashedRun(t, cfg, KindDoM, "505.mcf", probeBudget, dom)
+	if dom.specMSHRs > 0 {
+		t.Errorf("dom: %d speculative MSHR occupancies", dom.specMSHRs)
+	}
+	// InvisiSpec: every speculative access is invisible; exposures happen.
+	inv := &countingProbe{}
+	hashedRun(t, cfg, KindInvisiSpec, "505.mcf", probeBudget, inv)
+	if inv.specVisible > 0 {
+		t.Errorf("invisispec: %d speculative accesses reached the cache side-effect path", inv.specVisible)
+	}
+	if inv.exposures == 0 {
+		t.Error("invisispec: no exposure re-accesses observed on a memory-bound proxy")
 	}
 }

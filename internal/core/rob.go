@@ -15,7 +15,6 @@ func newROB(size int) *rob {
 func (r *rob) full() bool  { return r.count == len(r.entries) }
 func (r *rob) empty() bool { return r.count == 0 }
 func (r *rob) len() int    { return r.count }
-func (r *rob) cap() int    { return len(r.entries) }
 
 // push appends a uop at the tail; the caller must check full() first.
 func (r *rob) push(u *uop) {

@@ -61,6 +61,17 @@ type scheme interface {
 	// specWakeup reports whether speculative L1-hit scheduling of load
 	// dependents is retained (NDA removes it, Section 5.1).
 	specWakeup(base bool) bool
+
+	// delaysSpecMiss reports whether speculative loads that miss in the L1
+	// must wait for the visibility point before touching the memory
+	// hierarchy (Delay-on-Miss). The hit/miss disambiguation comes from
+	// mem.Hierarchy.Peek, consulted by issueLoad before any side effect.
+	delaysSpecMiss() bool
+	// invisibleSpecLoads reports whether speculative loads bypass the cache
+	// side-effect path into a per-load speculative buffer and must re-access
+	// ("expose") the hierarchy once they reach the visibility point
+	// (InvisiSpec).
+	invisibleSpecLoads() bool
 }
 
 // baseline is the unmodified, unsafe core.
@@ -85,3 +96,5 @@ func (baseline) canSelect(*uop, issuePart) bool { return true }
 func (baseline) onIssue(*uop, issuePart) bool   { return true }
 func (baseline) delaysLoadBroadcast() bool      { return false }
 func (baseline) specWakeup(base bool) bool      { return base }
+func (baseline) delaysSpecMiss() bool           { return false }
+func (baseline) invisibleSpecLoads() bool       { return false }

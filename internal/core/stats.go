@@ -55,6 +55,12 @@ type Stats struct {
 	TaintNopSlots       uint64 // STT-Issue: issue slots wasted on nops
 	YRoTBroadcasts      uint64 // non-speculative-load broadcasts
 	DelayedBroadcasts   uint64 // NDA: load broadcasts withheld at completion
+
+	DoMDelayedLoads uint64 // DoM: loads parked as speculative L1 misses
+	InvisibleLoads  uint64 // InvisiSpec: loads issued into the speculative buffer
+	Exposures       uint64 // InvisiSpec: exposure re-accesses performed
+	ExposureRetries uint64 // InvisiSpec: exposures deferred on a full MSHR file
+	SpecBufPeak     int    // InvisiSpec: peak speculative-buffer occupancy
 }
 
 // IPC returns committed instructions per cycle.
@@ -93,5 +99,7 @@ func (s Stats) String() string {
 	fmt.Fprintf(&b, "taint: renames %d, max chain %d, blocked selects %d, nop slots %d\n",
 		s.TaintedRenames, s.MaxRenameChain, s.TaintBlockedSelects, s.TaintNopSlots)
 	fmt.Fprintf(&b, "broadcasts: yrot %d, delayed %d\n", s.YRoTBroadcasts, s.DelayedBroadcasts)
+	fmt.Fprintf(&b, "dom: delayed loads %d; invisispec: invisible %d, exposures %d (retries %d, buf peak %d)\n",
+		s.DoMDelayedLoads, s.InvisibleLoads, s.Exposures, s.ExposureRetries, s.SpecBufPeak)
 	return b.String()
 }

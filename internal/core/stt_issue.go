@@ -74,10 +74,7 @@ func (s *sttIssue) canSelect(u *uop, part issuePart) bool {
 	if part == partStoreData {
 		return true
 	}
-	if u.blockedYRoT != noYRoT && u.blockedYRoT > s.c.curSafeSeq {
-		return false
-	}
-	return true
+	return u.blockedYRoT == noYRoT || u.blockedYRoT <= s.c.curSafeSeq
 }
 
 // onIssue is the taint unit (step 2 in Figure 4): compute the YRoT from
@@ -119,6 +116,8 @@ func (s *sttIssue) onIssue(u *uop, part issuePart) bool {
 
 func (s *sttIssue) delaysLoadBroadcast() bool { return false }
 func (s *sttIssue) specWakeup(base bool) bool { return base }
+func (s *sttIssue) delaysSpecMiss() bool      { return false }
+func (s *sttIssue) invisibleSpecLoads() bool  { return false }
 
 // taintedPart is the probe's read-only taint view (see probe.go): the same
 // operand-taint computation onIssue's taint unit performs, against the

@@ -156,6 +156,8 @@ func (s *sttRename) taintedPart(u *uop, part issuePart) bool {
 
 func (s *sttRename) delaysLoadBroadcast() bool { return false }
 func (s *sttRename) specWakeup(base bool) bool { return base }
+func (s *sttRename) delaysSpecMiss() bool      { return false }
+func (s *sttRename) invisibleSpecLoads() bool  { return false }
 
 // transmitterPart reports whether issuing the given part of u has an
 // observable, operand-dependent effect. Store address generation transmits

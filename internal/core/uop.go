@@ -20,6 +20,12 @@ const noReg = -1
 // -1 (older than every load) is always safe.
 const noYRoT int64 = -1
 
+// neverRetry parks a load's retryAt until some stage explicitly re-arms it
+// (Delay-on-Miss: the visibility-point walk wakes delayed misses). A load
+// left parked with no waker would trip the commit watchdog — loudly, by
+// design.
+const neverRetry = ^uint64(0)
+
 // uop is one in-flight micro-op. Stores are a single micro-op whose address
 // and data halves can issue independently (BOOM-style partial issue,
 // Section 9.2 of the paper).
@@ -91,6 +97,24 @@ type uop struct {
 	// referenced by a stale pending-broadcast queue entry.
 	inNonSpecQ bool // currently queued for the bounded broadcast
 	dead       bool // committed while still queued; recycle at the drain
+
+	// Delay-on-Miss state.
+	missDelayed bool // load parked as a speculative L1 miss (once per load)
+
+	// InvisiSpec state. An invisible load holds a per-load speculative
+	// buffer entry (inSpecBuf, accounted by the LSU) from issue until it is
+	// exposed or squashed; exposeDoneAt gates commit on the exposure
+	// re-access.
+	invisible    bool   // issued into the speculative buffer, no cache side effects
+	inSpecBuf    bool   // currently occupying a speculative-buffer entry
+	exposed      bool   // exposure re-access performed at the visibility point
+	exposeDoneAt uint64 // cycle the exposure access completes; commit waits on it
+	// exposeTried is 1 + the cycle of the last failed exposure attempt
+	// (the +1 keeps the zero value distinct from cycle 0): commitStage
+	// and the visibility-point walk can both reach an unexposed load in
+	// the same cycle, and the second caller must not retry — or count —
+	// the same stalled attempt twice.
+	exposeTried uint64
 
 	// Secure-scheme state.
 	yrot        int64 // STT-Rename: YRoT computed at rename

@@ -2,7 +2,9 @@ package diffsim
 
 import (
 	"context"
+	"os"
 	"reflect"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -109,13 +111,33 @@ func TestConfigForCaseStable(t *testing.T) {
 	}
 }
 
+// corpusSize returns the TestDifferentialCorpus case count. The default
+// 208-case corpus — every single-feature mask, the full mask, and 199
+// random mixes — is the PR-smoke budget: it stays in the low seconds even
+// as the scheme registry grows (each case checks EVERY registered scheme,
+// so the corpus got 6/4 wider when DoM and InvisiSpec landed). The nightly
+// CI job scales the same deterministic schedule up via DIFFSIM_CORPUS=N
+// without touching the smoke cost.
+func corpusSize(t *testing.T) int {
+	t.Helper()
+	const def = 208
+	s := os.Getenv("DIFFSIM_CORPUS")
+	if s == "" {
+		return def
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n <= 0 {
+		t.Fatalf("DIFFSIM_CORPUS=%q: want a positive case count", s)
+	}
+	return n
+}
+
 // TestDifferentialCorpus is the standing correctness gate: a deterministic
-// corpus of 208 generated programs — every single-feature mask, the full
-// mask, and 199 random mixes — must pass the differential oracle for every
-// registered scheme. Any failure prints the (seed, mask) pair and the
-// shadowbinding invocation that replays it.
+// corpus of generated programs (corpusSize; 208 by default) must pass the
+// differential oracle for every registered scheme. Any failure prints the
+// (seed, mask) pair and the shadowbinding invocation that replays it.
 func TestDifferentialCorpus(t *testing.T) {
-	const n = 208
+	n := corpusSize(t)
 	if err := Campaign(context.Background(), 1, n, 0, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -71,22 +71,54 @@ func caseErr(c Case, cfg core.Config, kind core.SchemeKind, format string, args 
 type invariantProbe struct {
 	taintTracking bool // STT: a tainted transmitter must never issue
 	delayedNDA    bool // NDA: a speculative load broadcast must never release
+	noSpecMSHR    bool // DoM/InvisiSpec: no speculative load occupies an MSHR
+	invisibleOnly bool // InvisiSpec: speculative accesses must be invisible
 	violations    []string
 }
 
+// newInvariantProbe maps a scheme to the invariants the oracle asserts on
+// it — each scheme's one-line security argument, stated over Probe events.
+func newInvariantProbe(kind core.SchemeKind) *invariantProbe {
+	return &invariantProbe{
+		taintTracking: kind == core.KindSTTRename || kind == core.KindSTTIssue,
+		delayedNDA:    kind == core.KindNDA,
+		noSpecMSHR:    kind == core.KindDoM || kind == core.KindInvisiSpec,
+		invisibleOnly: kind == core.KindInvisiSpec,
+	}
+}
+
+func (p *invariantProbe) violatef(format string, args ...any) {
+	if len(p.violations) < 8 {
+		p.violations = append(p.violations, fmt.Sprintf(format, args...))
+	}
+}
+
 func (p *invariantProbe) OnIssue(ev core.IssueEvent) {
-	if p.taintTracking && ev.Transmitter && ev.Tainted && len(p.violations) < 8 {
-		p.violations = append(p.violations, fmt.Sprintf(
-			"cycle %d: tainted transmitter issued (pc %d, %v, seq %d, part %d)",
-			ev.Cycle, ev.PC, ev.Op, ev.Seq, ev.Part))
+	if p.taintTracking && ev.Transmitter && ev.Tainted {
+		p.violatef("cycle %d: tainted transmitter issued (pc %d, %v, seq %d, part %d)",
+			ev.Cycle, ev.PC, ev.Op, ev.Seq, ev.Part)
 	}
 }
 
 func (p *invariantProbe) OnLoadBroadcast(ev core.BroadcastEvent) {
-	if p.delayedNDA && ev.Speculative && len(p.violations) < 8 {
-		p.violations = append(p.violations, fmt.Sprintf(
-			"cycle %d: speculative load broadcast released (pc %d, seq %d, delayed=%v)",
-			ev.Cycle, ev.PC, ev.Seq, ev.Delayed))
+	if p.delayedNDA && ev.Speculative {
+		p.violatef("cycle %d: speculative load broadcast released (pc %d, seq %d, delayed=%v)",
+			ev.Cycle, ev.PC, ev.Seq, ev.Delayed)
+	}
+}
+
+func (p *invariantProbe) OnCacheAccess(ev core.CacheAccessEvent) {
+	// The invisible-only invariant is the stricter of the two (it fires on
+	// speculative hits too), so it is checked first: an InvisiSpec failure
+	// reports its own argument, not the weaker MSHR consequence.
+	if p.invisibleOnly && ev.Speculative && ev.Kind != core.CacheAccessInvisible {
+		p.violatef("cycle %d: speculative load reached the cache side-effect path before exposure (pc %d, seq %d, addr %#x, kind %d)",
+			ev.Cycle, ev.PC, ev.Seq, ev.Addr, ev.Kind)
+		return
+	}
+	if p.noSpecMSHR && ev.Speculative && ev.MSHR {
+		p.violatef("cycle %d: speculative load occupied an MSHR past the L1 (pc %d, seq %d, addr %#x)",
+			ev.Cycle, ev.PC, ev.Seq, ev.Addr)
 	}
 }
 
@@ -142,10 +174,7 @@ func checkScheme(cfg core.Config, kind core.SchemeKind, cs Case, prog *isa.Progr
 	if err != nil {
 		return caseErr(cs, cfg, kind, "core.New: %v", err)
 	}
-	probe := &invariantProbe{
-		taintTracking: kind == core.KindSTTRename || kind == core.KindSTTIssue,
-		delayedNDA:    kind == core.KindNDA,
-	}
+	probe := newInvariantProbe(kind)
 	c.Probe = probe
 
 	var got []isa.Commit

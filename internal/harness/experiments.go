@@ -215,4 +215,13 @@ func init() {
 		Order: 9, Needs: []MatrixSpec{BoomSpec(), Gem5Spec()},
 		Render: func(ms []*Matrix) (string, error) { return Table5(ms[0], ms[1]), nil },
 	})
+	RegisterExperiment(ExperimentSpec{
+		// The extension comparison pins its scheme axis to every
+		// registered scheme (ExtSpec), so `-schemes dom,invisispec
+		// -experiment fig_ext` still renders the full head-to-head. Its
+		// cells are content-identical to the Boom matrix's, so alongside
+		// `-experiment all` it costs no extra simulation.
+		ID: "fig_ext", Title: "Extended comparison: all registered schemes (IPC and performance)",
+		Order: 10, Needs: []MatrixSpec{ExtSpec()}, Render: renderFirst(FigureExt),
+	})
 }

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -82,4 +83,54 @@ func TestFigure6Golden(t *testing.T) {
 
 func TestFigure7Golden(t *testing.T) {
 	checkGolden(t, "figure7", Figure7(goldenMatrix(t)))
+}
+
+// TestFigureExtGolden pins the extended 6-scheme comparison — the one
+// figure whose columns include the extension schemes (DoM, InvisiSpec) —
+// so the CI goldens-drift step catches silent changes to it just like
+// the paper figures.
+func TestFigureExtGolden(t *testing.T) {
+	checkGolden(t, "figure_ext", FigureExt(goldenMatrix(t)))
+}
+
+// TestPaperFiguresPinPaperRoster: the paper-reproduction figures render
+// exactly the paper's scheme columns even though the matrix sweeps every
+// registered scheme; the extension schemes appear only in FigureExt.
+func TestPaperFiguresPinPaperRoster(t *testing.T) {
+	m := goldenMatrix(t)
+	for name, out := range map[string]string{
+		"fig6":   Figure6(m),
+		"fig7":   Figure7(m),
+		"fig8":   Figure8(m),
+		"fig10":  Figure10(m),
+		"table3": Table3(m),
+	} {
+		for _, ext := range []string{"dom", "invisispec"} {
+			if strings.Contains(out, ext) {
+				t.Errorf("%s renders extension scheme %q; paper figures are pinned to the paper roster (use fig_ext)", name, ext)
+			}
+		}
+	}
+	ext := FigureExt(m)
+	for _, want := range []string{"stt-rename", "stt-issue", "nda", "dom", "invisispec"} {
+		if !strings.Contains(ext, want) {
+			t.Errorf("fig_ext missing scheme %q", want)
+		}
+	}
+
+	// The synthesis-model artifacts are deliberately all-scheme: the
+	// analytical timing/area/power model covers every registered scheme
+	// (FigureExt's performance column depends on it), so Figure 9 and
+	// Table 4 grow a row per drop-in rather than pinning to the paper
+	// roster.
+	for name, out := range map[string]string{
+		"fig9":   Figure9(core.Configs()),
+		"table4": Table4(),
+	} {
+		for _, want := range []string{"dom", "invisispec"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("%s missing extension scheme %q; synthesis artifacts cover every registered scheme", name, want)
+			}
+		}
+	}
 }

@@ -108,11 +108,12 @@ func TestRunMatrixProgressIsOrderedAndComplete(t *testing.T) {
 			jobLines = append(jobLines, l)
 		}
 	}
-	if want := 4 * len(suite); len(jobLines) != want {
+	ns := len(core.SchemeKinds())
+	if want := ns * len(suite); len(jobLines) != want {
 		t.Errorf("job progress lines = %d, want %d", len(jobLines), want)
 	}
-	if len(cellLines) != 4 {
-		t.Fatalf("cell summary lines = %d, want 4", len(cellLines))
+	if len(cellLines) != ns {
+		t.Fatalf("cell summary lines = %d, want %d", len(cellLines), ns)
 	}
 	for i, kind := range core.SchemeKinds() {
 		if !strings.Contains(cellLines[i], kind.String()) {

@@ -37,6 +37,18 @@ func BoomSpec() MatrixSpec {
 	return MatrixSpec{Name: "boom", Configs: core.Configs(), Benches: workloads.Suite()}
 }
 
+// ExtSpec is the Boom matrix with its scheme axis pinned to every
+// registered scheme: the cell set behind the extended (6-scheme)
+// comparison, complete regardless of the session's -schemes filter. It
+// shares the "boom" name deliberately — the cells are the same
+// content-addressed jobs, and the Evaluation compatibility path can
+// satisfy it whenever its eagerly swept Boom matrix covers all schemes.
+func ExtSpec() MatrixSpec {
+	s := BoomSpec()
+	s.Schemes = core.SchemeKinds()
+	return s
+}
+
 // Gem5Spec is the Section 8.6 comparison matrix: the two gem5-style
 // configurations over the 19-benchmark comparable suite.
 func Gem5Spec() MatrixSpec {

@@ -157,6 +157,39 @@ func (h *Hierarchy) Load(pc, addr, now uint64) (done uint64, hitL1, accepted boo
 	return done, false, true
 }
 
+// Peek computes the completion cycle a demand load to addr would see if it
+// accessed the hierarchy at cycle now, and whether it would hit in the L1,
+// WITHOUT perturbing any state: no MSHR allocation, no fills, no LRU
+// update, no statistics, no prefetcher training. It is the hit/miss
+// disambiguation hook behind the delay-on-miss and invisible-load secure
+// schemes (internal/core): DoM consults it to decide whether a speculative
+// load may proceed (L1 hit) or must wait for the visibility point (miss),
+// and InvisiSpec uses the returned latency to time an access that goes to
+// a speculative buffer instead of the cache. A line with an in-flight fill
+// counts as a hit whose data arrives when the fill completes, mirroring
+// Load's hit-under-fill behaviour, so Peek(…) and an immediately following
+// Load(…) agree on both verdict and timing.
+func (h *Hierarchy) Peek(addr, now uint64) (done uint64, hitL1 bool) {
+	line := h.l1d.LineAddr(addr)
+	if present, availAt := h.l1d.Lookup(line); present {
+		done = now + h.cfg.L1D.HitLat
+		if availAt > done {
+			done = availAt
+		}
+		return done, true
+	}
+	l2Start := now + h.cfg.L1D.HitLat
+	if present, availAt := h.l2.Lookup(line); present {
+		done = l2Start + h.cfg.L2.HitLat
+		if availAt > done {
+			done = availAt
+		}
+	} else {
+		done = l2Start + h.cfg.L2.HitLat + h.cfg.MemLat
+	}
+	return done + h.cfg.L1D.FillLat, false
+}
+
 // Store performs the commit-time cache write for a store to addr at cycle
 // now, returning when the write completes. Stores drain from a post-commit
 // store buffer, so the latency rarely stalls the core; write misses

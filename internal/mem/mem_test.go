@@ -299,3 +299,77 @@ func TestHierarchyLatencyBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestHierarchyPeekMatchesLoad: Peek's verdict and timing must agree with
+// an immediately following Load at every residency state — the contract
+// the DoM and InvisiSpec scheme hooks rest on.
+func TestHierarchyPeekMatchesLoad(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0
+	h := NewHierarchy(cfg)
+
+	check := func(name string, addr, now uint64) {
+		t.Helper()
+		peekDone, peekHit := h.Peek(addr, now)
+		done, hit, ok := h.Load(0, addr, now)
+		if !ok {
+			t.Fatalf("%s: load rejected", name)
+		}
+		if peekHit != hit || peekDone != done {
+			t.Errorf("%s: Peek = (%d, %v), Load = (%d, %v)", name, peekDone, peekHit, done, hit)
+		}
+	}
+
+	check("cold (DRAM)", 0x1000, 100)
+	check("hit under fill", 0x1000, 150) // fill in flight: hit at fill time
+	check("warm L1 hit", 0x1000, 1000)
+	h.L1D().InvalidateAll()
+	check("L2 hit", 0x1000, 2000)
+}
+
+// TestHierarchyPeekIsSideEffectFree: Peek must not touch MSHRs, stats,
+// residency, or LRU state — a delayed speculative miss probes the tags
+// every attempt and must leave no trace an attacker could time.
+func TestHierarchyPeekIsSideEffectFree(t *testing.T) {
+	cfg := DefaultHierarchyConfig()
+	cfg.PrefetchTable = 0
+	h := NewHierarchy(cfg)
+
+	if _, hit := h.Peek(0x5000, 10); hit {
+		t.Fatal("cold Peek reported a hit")
+	}
+	if h.Contains(0x5000) {
+		t.Error("Peek installed the line")
+	}
+	if h.OutstandingMisses(10) != 0 {
+		t.Error("Peek allocated an MSHR")
+	}
+	if h.Loads != 0 || h.L1D().Accesses != 0 || h.L1D().Misses != 0 {
+		t.Errorf("Peek moved statistics: loads=%d accesses=%d misses=%d",
+			h.Loads, h.L1D().Accesses, h.L1D().Misses)
+	}
+
+	// LRU neutrality: fill a set to capacity, Peek one line many times,
+	// then force an eviction — the peeked line must still be the LRU
+	// victim (Peek must not refresh lastUse).
+	small := HierarchyConfig{
+		L1D:    CacheConfig{Name: "L1D", SizeKB: 1, Ways: 2, LineB: 64, HitLat: 1, FillLat: 1},
+		L2:     CacheConfig{Name: "L2", SizeKB: 4, Ways: 2, LineB: 64, HitLat: 2, FillLat: 1},
+		MemLat: 10, MSHRs: 4,
+	}
+	hs := NewHierarchy(small)
+	setStride := uint64(small.L1D.SizeKB) * 1024 / uint64(small.L1D.Ways) // lines mapping to set 0
+	a, b, c := uint64(0), setStride, 2*setStride
+	hs.Load(0, a, 0)
+	hs.Load(0, b, 100) // set full; a is LRU
+	for i := uint64(0); i < 8; i++ {
+		hs.Peek(a, 200+i)
+	}
+	hs.Load(0, c, 300) // evicts the true LRU
+	if hs.L1D().Contains(a) {
+		t.Error("peeked line survived eviction: Peek refreshed LRU state")
+	}
+	if !hs.L1D().Contains(b) {
+		t.Error("wrong victim evicted")
+	}
+}

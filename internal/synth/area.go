@@ -78,6 +78,21 @@ func SchemeDelta(cfg core.Config, kind core.SchemeKind) Area {
 			LUTs: -42*iq + 347*float64(cfg.MemPorts),
 			FFs:  30*iq + 60*float64(cfg.MemPorts) + 1*float64(cfg.LQSize),
 		}
+	case core.KindDoM:
+		// Delay-on-Miss is nearly pure control: the tag-probe qualifier
+		// per memory port and a delayed/parked bit per load-queue entry.
+		return Area{
+			LUTs: 120*float64(cfg.MemPorts) + 6*float64(cfg.LQSize),
+			FFs:  2 * float64(cfg.LQSize),
+		}
+	case core.KindInvisiSpec:
+		// The per-load speculative buffer: 64-bit data plus an address
+		// tag per load-queue entry (the FF-heavy part), its CAM, and the
+		// exposure state machine per memory port.
+		return Area{
+			LUTs: 30*float64(cfg.LQSize) + 250*float64(cfg.MemPorts),
+			FFs:  110 * float64(cfg.LQSize),
+		}
 	}
 	return Area{}
 }

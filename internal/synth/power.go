@@ -30,6 +30,14 @@ func activityFactor(kind core.SchemeKind) float64 {
 		return 1.008
 	case core.KindNDA:
 		return 0.912
+	case core.KindDoM:
+		// Delayed misses suppress wrong-path memory traffic outright;
+		// the replayed issue slots cost less than the traffic saved.
+		return 0.940
+	case core.KindInvisiSpec:
+		// Every speculative miss is accessed twice (invisible fetch,
+		// then exposure): dynamic activity above baseline.
+		return 1.060
 	}
 	return 1.0
 }

@@ -46,6 +46,16 @@ const (
 	// NDA: removing speculative-hit wakeup slightly shortens the select
 	// loop; the split broadcast bus costs less than is saved.
 	ndaDeltaPs = -50.0
+
+	// DoM: an L1 tag-probe qualifier on load select (hit/miss
+	// disambiguation before the access may proceed) — flat, width-
+	// independent, mostly hidden behind the existing select logic.
+	domProbePs = 140.0
+
+	// InvisiSpec: the per-load speculative-buffer CAM on the load path
+	// plus exposure arbitration per additional memory port.
+	invisiFlatPs    = 210.0
+	invisiPerPortPs = 90.0
 )
 
 // BaselinePeriodPs returns the modeled baseline critical path for a
@@ -86,6 +96,10 @@ func AddedDelayPs(cfg core.Config, kind core.SchemeKind) float64 {
 		return sttIssueFlatPs + sttIssuePerSlotPs*(slots-3)
 	case core.KindNDA:
 		return ndaDeltaPs
+	case core.KindDoM:
+		return domProbePs
+	case core.KindInvisiSpec:
+		return invisiFlatPs + invisiPerPortPs*float64(cfg.MemPorts-1)
 	}
 	return 0
 }

@@ -1,10 +1,13 @@
 // Package shadowbinding is the public facade of the ShadowBinding
 // reproduction: a cycle-level out-of-order CPU model with the paper's
 // three in-core secure speculation microarchitectures (STT-Rename,
-// STT-Issue, NDA-Permissive), a SPEC CPU2017 proxy suite, an analytical
-// synthesis model for timing/area/power, a Spectre v1 security check, and
-// an evaluation driver that regenerates every table and figure of the
-// paper (Kvalsvik & Själander, MICRO 2025).
+// STT-Issue, NDA-Permissive) plus the literature's two classic
+// comparison points (Delay-on-Miss, InvisiSpec-style invisible loads), a
+// SPEC CPU2017 proxy suite, an analytical synthesis model for
+// timing/area/power, Spectre v1 / SSB security checks, and an evaluation
+// driver that regenerates every table and figure of the paper (Kvalsvik
+// & Själander, MICRO 2025) plus the extended 6-scheme comparison
+// (fig_ext).
 //
 // Quick start — open a Session and render one experiment; only the cells
 // that experiment needs are simulated, each at most once:
@@ -71,6 +74,9 @@ type (
 	TraceReport = trace.Report
 	// BenchReport is one simulator-throughput measurement (BENCH_core.json).
 	BenchReport = harness.BenchReport
+	// BenchFile is the on-disk BENCH_core.json layout (schema + runs +
+	// aggregate throughput).
+	BenchFile = harness.BenchFile
 
 	// Session is a long-lived, lazy evaluation context over the cell
 	// engine: matrices and experiments are materialized on demand from
@@ -117,9 +123,11 @@ var (
 	ExperimentIDs = harness.ExperimentIDs
 
 	// BoomSpec is the paper's main matrix (4 BOOM configs × full suite);
-	// Gem5Spec the Section 8.6 comparison matrix.
+	// Gem5Spec the Section 8.6 comparison matrix; ExtSpec the Boom matrix
+	// pinned to every registered scheme (the fig_ext cell set).
 	BoomSpec = harness.BoomSpec
 	Gem5Spec = harness.Gem5Spec
+	ExtSpec  = harness.ExtSpec
 )
 
 // SimVersion is the simulator version stamp embedded in every cell
@@ -133,12 +141,16 @@ var (
 	ReadBenchReport  = harness.ReadBenchReport
 )
 
-// The four schemes (Section 7).
+// The paper's four schemes (Section 7) plus the two classic alternatives
+// the secure-speculation literature compares against: Delay-on-Miss
+// (Sakalis et al.) and InvisiSpec-style invisible loads (Yan et al.).
 const (
-	Baseline  = core.KindBaseline
-	STTRename = core.KindSTTRename
-	STTIssue  = core.KindSTTIssue
-	NDA       = core.KindNDA
+	Baseline   = core.KindBaseline
+	STTRename  = core.KindSTTRename
+	STTIssue   = core.KindSTTIssue
+	NDA        = core.KindNDA
+	DoM        = core.KindDoM
+	InvisiSpec = core.KindInvisiSpec
 )
 
 // Table 1 configurations.
@@ -290,8 +302,9 @@ type Evaluation struct {
 	Gem5 *harness.Matrix
 }
 
-// NewEvaluation runs the full sweep (4 configs × 4 schemes × 22 benchmarks
-// plus 2 gem5 configs × 4 schemes × 19 benchmarks) on the parallel engine.
+// NewEvaluation runs the full sweep (4 configs × every registered scheme
+// × 22 benchmarks plus 2 gem5 configs × the same schemes × 19 benchmarks)
+// on the parallel engine.
 func NewEvaluation(opts Options) (*Evaluation, error) {
 	return NewEvaluationContext(context.Background(), Schemes(), opts)
 }

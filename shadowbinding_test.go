@@ -27,15 +27,21 @@ func TestRunBenchmarkFacade(t *testing.T) {
 }
 
 func TestSchemeFacade(t *testing.T) {
-	if got := len(Schemes()); got != 4 {
-		t.Errorf("registered schemes = %d, want 4", got)
+	if got := len(Schemes()); got != 6 {
+		t.Errorf("registered schemes = %d, want 6", got)
 	}
-	if got := len(SecureSchemes()); got != 3 {
-		t.Errorf("secure schemes = %d, want 3", got)
+	if got := len(SecureSchemes()); got != 5 {
+		t.Errorf("secure schemes = %d, want 5", got)
 	}
 	k, err := SchemeByName("stt-issue")
 	if err != nil || k != STTIssue {
 		t.Errorf("SchemeByName(stt-issue) = %v, %v", k, err)
+	}
+	if k, err := SchemeByName("dom"); err != nil || k != DoM {
+		t.Errorf("SchemeByName(dom) = %v, %v", k, err)
+	}
+	if k, err := SchemeByName("invisispec"); err != nil || k != InvisiSpec {
+		t.Errorf("SchemeByName(invisispec) = %v, %v", k, err)
 	}
 	if _, err := SchemeByName("stt-magic"); err == nil {
 		t.Error("unknown scheme name accepted")
@@ -105,7 +111,7 @@ func TestSpectreFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, scheme := range []string{"baseline", "stt-rename", "stt-issue", "nda"} {
+	for _, scheme := range []string{"baseline", "stt-rename", "stt-issue", "nda", "dom", "invisispec"} {
 		if !strings.Contains(report, scheme) {
 			t.Errorf("security report missing %s:\n%s", scheme, report)
 		}
@@ -117,7 +123,7 @@ func TestSpectreFacade(t *testing.T) {
 // enumeration (whose historical order is pinned — cmd output depends on
 // it).
 func TestSessionFacade(t *testing.T) {
-	want := []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "table5"}
+	want := []string{"table1", "fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "table3", "table4", "table5", "fig_ext"}
 	got := ExperimentIDs()
 	if len(got) != len(want) {
 		t.Fatalf("ExperimentIDs() = %v, want %v", got, want)
