@@ -45,6 +45,11 @@ func main() {
 	common := cliutil.Register(flag.CommandLine, "")
 	flag.Parse()
 
+	// Profile the whole run (cell construction included — see
+	// mem.Main.WriteRange for why that matters).
+	stopProfiles := common.StartProfiles(tool)
+	defer stopProfiles()
+
 	fuzzFlagSet, experimentSet := false, false
 	flag.Visit(func(f *flag.Flag) {
 		switch f.Name {

@@ -55,6 +55,40 @@ func CheckBenchRegression(baseline, current sb.BenchFile, label string, maxRegre
 		label, cur.SimCyclesPerSec, base.SimCyclesPerSec, change, maxRegressPct), nil
 }
 
+// CheckAllBenchRegressions applies the gate to every label in the
+// baseline — a committed trajectory may never silently narrow, so a
+// baseline label that vanished from the current report fails the gate —
+// and then notes any current-only labels (new benchmarks entering the
+// trajectory before their first committed baseline). One summary line per
+// label, in baseline-then-current order.
+func CheckAllBenchRegressions(baseline, current sb.BenchFile, maxRegressPct float64) ([]string, error) {
+	if err := baseline.Validate(); err != nil {
+		return nil, fmt.Errorf("benchcheck: baseline report invalid: %w", err)
+	}
+	if len(baseline.Runs) == 0 {
+		return nil, fmt.Errorf("benchcheck: baseline report has no runs to gate")
+	}
+	var out []string
+	for _, r := range baseline.Runs {
+		summary, err := CheckBenchRegression(baseline, current, r.Label, maxRegressPct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, summary)
+	}
+	for _, r := range current.Runs {
+		if _, gated := findRun(baseline, r.Label); gated {
+			continue
+		}
+		summary, err := CheckBenchRegression(baseline, current, r.Label, maxRegressPct)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, summary)
+	}
+	return out, nil
+}
+
 func findRun(f sb.BenchFile, label string) (sb.BenchReport, bool) {
 	for _, r := range f.Runs {
 		if r.Label == label {

@@ -5,8 +5,11 @@
 //
 // Usage (what the CI "Bench regression gate" step runs):
 //
-//	go test -bench=BenchmarkCoreMatrixThroughput -benchtime=1x -short -run '^$' .
-//	go run ./internal/cliutil/benchcheck -label short-matrix-j1 -max-regress 25
+//	go test -bench='MatrixThroughput' -benchtime=1x -short -run '^$' .
+//	go run ./internal/cliutil/benchcheck -all -max-regress 25
+//
+// -all gates every label in the committed baseline (and notes current-only
+// labels entering the trajectory); -label gates exactly one.
 //
 // The comparison is absolute throughput, so the committed baseline must
 // come from the same machine class that runs the gate. Updating the
@@ -30,6 +33,7 @@ func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "committed baseline report")
 	current := flag.String("current", "BENCH_core.json", "freshly emitted report to check")
 	label := flag.String("label", "short-matrix-j1", "run label to compare")
+	all := flag.Bool("all", false, "gate every label in the baseline instead of -label")
 	maxRegress := flag.Float64("max-regress", 25, "fail when sim_cycles_per_sec drops more than this percentage")
 	flag.Parse()
 
@@ -40,6 +44,16 @@ func main() {
 	cur, err := sb.ReadBenchReport(*current)
 	if err != nil {
 		cliutil.Fatal(tool, fmt.Errorf("current %s: %w", *current, err))
+	}
+	if *all {
+		summaries, err := cliutil.CheckAllBenchRegressions(base, cur, *maxRegress)
+		if err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		for _, s := range summaries {
+			fmt.Printf("%s: %s\n", tool, s)
+		}
+		return
 	}
 	summary, err := cliutil.CheckBenchRegression(base, cur, *label, *maxRegress)
 	if err != nil {

@@ -8,17 +8,28 @@ import (
 	sb "repro"
 )
 
-func benchFile(label string, cyclesPerSec float64) sb.BenchFile {
+// run is one labeled measurement in a synthetic bench file.
+type run struct {
+	label string
+	rate  float64 // simCycles/s
+}
+
+func benchFileOf(runs ...run) sb.BenchFile {
 	// NewBenchReport derives the rate from cycles/wall; one second of wall
 	// time makes the rate equal the cycle count.
-	rep := sb.NewBenchReport(label, 32, uint64(cyclesPerSec), time.Second, 1)
-	return sb.BenchFile{
-		Schema:          "shadowbinding-bench/v1",
-		Runs:            []sb.BenchReport{rep},
-		SimCycles:       rep.SimCycles,
-		WallSeconds:     rep.WallSeconds,
-		SimCyclesPerSec: rep.SimCyclesPerSec,
+	f := sb.BenchFile{Schema: "shadowbinding-bench/v1"}
+	for _, r := range runs {
+		rep := sb.NewBenchReport(r.label, 32, uint64(r.rate), time.Second, 1)
+		f.Runs = append(f.Runs, rep)
+		f.SimCycles += rep.SimCycles
+		f.WallSeconds += rep.WallSeconds
 	}
+	f.SimCyclesPerSec = float64(f.SimCycles) / f.WallSeconds
+	return f
+}
+
+func benchFile(label string, cyclesPerSec float64) sb.BenchFile {
+	return benchFileOf(run{label, cyclesPerSec})
 }
 
 func TestBenchRegressionGate(t *testing.T) {
@@ -85,5 +96,92 @@ func TestBenchRegressionGateEdges(t *testing.T) {
 		if _, err := CheckBenchRegression(base, base, "short-matrix-j1", pct); err == nil {
 			t.Errorf("threshold %.0f accepted", pct)
 		}
+	}
+}
+
+// TestCheckAllBenchRegressions covers the whole-baseline gate: every
+// committed label is compared, a vanished label fails, and a new label not
+// yet in the baseline enters with a note instead of an error.
+func TestCheckAllBenchRegressions(t *testing.T) {
+	base := benchFileOf(
+		run{"short-matrix-j1", 1_000_000},
+		run{"long-miss-matrix-j1", 3_000_000},
+	)
+
+	cases := []struct {
+		name        string
+		current     sb.BenchFile
+		wantErr     string   // substring of the error, "" = must pass
+		wantLines   int      // summaries expected on pass
+		wantMention []string // substrings that must appear across the summaries
+	}{
+		{
+			name: "all labels within limit",
+			current: benchFileOf(
+				run{"short-matrix-j1", 1_100_000},
+				run{"long-miss-matrix-j1", 2_900_000},
+			),
+			wantLines:   2,
+			wantMention: []string{"short-matrix-j1", "long-miss-matrix-j1"},
+		},
+		{
+			name: "one label regressed past the limit",
+			current: benchFileOf(
+				run{"short-matrix-j1", 1_000_000},
+				run{"long-miss-matrix-j1", 1_000_000},
+			),
+			wantErr: "long-miss-matrix-j1 regressed",
+		},
+		{
+			name:    "baseline label missing from current",
+			current: benchFileOf(run{"short-matrix-j1", 1_000_000}),
+			wantErr: `no "long-miss-matrix-j1" run`,
+		},
+		{
+			name: "new label not in baseline enters with a note",
+			current: benchFileOf(
+				run{"short-matrix-j1", 1_000_000},
+				run{"long-miss-matrix-j1", 3_000_000},
+				run{"session-cache-hit", 9_999},
+			),
+			wantLines:   3,
+			wantMention: []string{"no committed baseline", "session-cache-hit"},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			summaries, err := CheckAllBenchRegressions(base, tc.current, 25)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("error = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected failure: %v", err)
+			}
+			if len(summaries) != tc.wantLines {
+				t.Fatalf("got %d summaries %v, want %d", len(summaries), summaries, tc.wantLines)
+			}
+			joined := strings.Join(summaries, "\n")
+			for _, want := range tc.wantMention {
+				if !strings.Contains(joined, want) {
+					t.Errorf("summaries %q missing %q", joined, want)
+				}
+			}
+		})
+	}
+
+	// An empty or invalid baseline must refuse loudly rather than gate
+	// nothing.
+	if _, err := CheckAllBenchRegressions(sb.BenchFile{}, base, 25); err == nil {
+		t.Error("invalid baseline passed the all-labels gate")
+	}
+	empty := benchFileOf()
+	empty.SimCyclesPerSec = 1 // structurally valid, but nothing to gate
+	empty.WallSeconds = 1
+	if _, err := CheckAllBenchRegressions(empty, base, 25); err == nil {
+		t.Error("baseline with zero runs passed the all-labels gate")
 	}
 }

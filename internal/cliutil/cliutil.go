@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,6 +24,8 @@ type Flags struct {
 	SchemesCSV  string
 	BenchOut    string
 	CacheDir    string
+	CPUProfile  string
+	MemProfile  string
 }
 
 // Register installs the common flags on fs (flag.CommandLine in the cmds)
@@ -37,7 +41,50 @@ func Register(fs *flag.FlagSet, cacheHelp string) *Flags {
 		cacheHelp = "cell cache directory: simulation results are content-addressed and persisted here, so a warm re-run simulates nothing"
 	}
 	fs.StringVar(&f.CacheDir, "cache", "", cacheHelp)
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path (go tool pprof)")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write an end-of-run heap profile to this path (go tool pprof)")
 	return f
+}
+
+// StartProfiles starts the -cpuprofile/-memprofile collection and returns
+// the function that finalizes both; the caller defers it around the whole
+// run. Either flag may be empty. The heap profile is written at stop time
+// after a GC, so it reflects live steady-state memory — the
+// allocation-free-hot-loop claim the zero-alloc test pins is directly
+// inspectable from it.
+func (f *Flags) StartProfiles(tool string) (stop func()) {
+	var cpuOut *os.File
+	if f.CPUProfile != "" {
+		var err error
+		cpuOut, err = os.Create(f.CPUProfile)
+		if err != nil {
+			Fatal(tool, err)
+		}
+		if err := pprof.StartCPUProfile(cpuOut); err != nil {
+			Fatal(tool, err)
+		}
+	}
+	return func() {
+		if cpuOut != nil {
+			pprof.StopCPUProfile()
+			if err := cpuOut.Close(); err != nil {
+				Fatal(tool, err)
+			}
+		}
+		if f.MemProfile != "" {
+			memOut, err := os.Create(f.MemProfile)
+			if err != nil {
+				Fatal(tool, err)
+			}
+			runtime.GC() // drop dead objects so the profile shows live state
+			if err := pprof.WriteHeapProfile(memOut); err != nil {
+				Fatal(tool, err)
+			}
+			if err := memOut.Close(); err != nil {
+				Fatal(tool, err)
+			}
+		}
+	}
 }
 
 // Schemes parses the -schemes filter; withBaseline prepends the baseline

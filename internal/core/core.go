@@ -68,6 +68,17 @@ type Core struct {
 	halted          bool
 	lastCommitCycle uint64
 
+	// Idle-cycle skipping state (see Run). progressed records whether any
+	// stage changed machine state this cycle; a cycle that ends with it
+	// clear is idle, and Run may warp the clock to the next wake target
+	// instead of ticking through the gap. idleStall points at the rename
+	// stall counter the cycle charged, so a skip can charge the skipped
+	// cycles to the same (frozen) stall reason the ticking machine would
+	// have.
+	progressed bool
+	idleStall  *uint64
+	stepped    uint64 // cycles actually simulated (cycle − stepped = warped)
+
 	// CommitHook, when set, receives every committed instruction in order;
 	// tests use it to compare against the architectural reference model.
 	CommitHook func(isa.Commit)
@@ -118,7 +129,11 @@ func New(cfg Config, kind SchemeKind, prog *isa.Program) (*Core, error) {
 	}
 	c.sch = sch
 	c.taintQ, _ = sch.(taintQuerier)
-	c.main.LoadImage(prog.InitialMemory())
+	// Install the data image segment-wise: flattening to a map first
+	// (InitialMemory) cost more than the simulation the cell runs.
+	for _, seg := range prog.Data {
+		c.main.WriteRange(seg.Addr, seg.Words)
+	}
 	return c, nil
 }
 
@@ -164,7 +179,9 @@ func (c *Core) ArchReg(r isa.Reg) uint64 {
 // instruction moves through at most one stage per cycle.
 func (c *Core) Step() {
 	c.cycle++
+	c.stepped++
 	c.Stats.Cycles = c.cycle
+	c.progressed = false
 	c.commitStage()
 	if c.halted {
 		return
@@ -174,6 +191,11 @@ func (c *Core) Step() {
 	c.issueStage()
 	c.renameStage()
 	c.fe.step(c.cycle)
+	if c.fe.fetched != c.Stats.Fetched {
+		// The front end fetches whenever it is neither stalled nor full, so
+		// a fetch-count change is exactly "fetch made progress".
+		c.progressed = true
+	}
 	c.Stats.Fetched = c.fe.fetched
 	c.Stats.BTBMissForcedNT = c.fe.btbMissesNT
 	c.prevSafeSeq = c.curSafeSeq
@@ -197,6 +219,18 @@ type Result struct {
 // Run executes until the program halts or a limit is reached. It returns
 // an error if the machine stops committing instructions (a model deadlock,
 // which is always a bug).
+//
+// Run is event-driven across idle stretches: after a cycle in which no
+// stage changed machine state, it warps the clock directly to the cycle
+// before the next scheduled wake-up (nextWake) instead of ticking through
+// the gap one empty cycle at a time. The warp is cycle-exact, not merely
+// cycle-approximate — every stage is gated on comparisons of the clock
+// against exactly the times nextWake scans, so nothing can happen strictly
+// inside the gap, and skipping may never change which cycle anything
+// happens on, only how fast we get there. The commit-stream goldens and
+// the cycle-pinned DoM/InvisiSpec tests hold byte-identical with skipping
+// active, which is the proof. Callers that drive Step directly get the
+// plain ticking machine.
 func (c *Core) Run(lim RunLimits) (Result, error) {
 	if lim.MaxCycles == 0 {
 		lim.MaxCycles = ^uint64(0)
@@ -205,13 +239,106 @@ func (c *Core) Run(lim RunLimits) (Result, error) {
 		lim.MaxInsts = ^uint64(0)
 	}
 	for !c.halted && c.cycle < lim.MaxCycles && c.Stats.Committed < lim.MaxInsts {
+		blockedBefore := c.Stats.TaintBlockedSelects
 		c.Step()
 		if c.cycle-c.lastCommitCycle > watchdogCycles {
 			return c.result(), fmt.Errorf("core: %s/%s: no commit for %d cycles at cycle %d (pc %d, rob %d)",
 				c.cfg.Name, c.sch.kind(), watchdogCycles, c.cycle, c.fe.pc, c.rob.len())
 		}
+		if c.progressed || c.halted {
+			continue
+		}
+		wake := c.nextWake()
+		if wake == noWake {
+			// Nothing is scheduled at all: the machine is deadlock-bound,
+			// and ticking into the watchdog reports it at its exact cycle.
+			continue
+		}
+		// Warp to the last cycle of the idle gap. Clamps keep the observable
+		// trajectory identical to ticking: Result.Cycles may not overshoot
+		// the caller's limit (the harness's warmup/measure boundaries land
+		// exactly), and the watchdog must trip at the same cycle it would
+		// have.
+		target := wake - 1
+		if target > lim.MaxCycles {
+			target = lim.MaxCycles
+		}
+		if wd := c.lastCommitCycle + watchdogCycles; target > wd {
+			target = wd
+		}
+		if target <= c.cycle {
+			continue
+		}
+		// The ticking machine would have charged every skipped cycle to the
+		// same (frozen) rename stall reason and re-blocked the same tainted
+		// selections; replay those per-cycle statistics in bulk.
+		skipped := target - c.cycle
+		c.cycle = target
+		c.Stats.Cycles = target
+		if c.idleStall != nil {
+			*c.idleStall += skipped
+		}
+		c.Stats.TaintBlockedSelects += skipped * (c.Stats.TaintBlockedSelects - blockedBefore)
 	}
 	return c.result(), nil
+}
+
+// noWake is nextWake's "nothing scheduled" sentinel.
+const noWake = ^uint64(0)
+
+// nextWake returns the earliest future cycle at which any stage of an idle
+// machine could make progress, or noWake when nothing is scheduled. Every
+// implicit "wake at cycle X" in the machine is an explicit field this scan
+// reads: completion events (the heap head), the front-end pipeline depth
+// (the oldest fetch entry's readyAt), LSU retry backoffs and operand
+// wake-ups cached in the issue-queue scoreboard (retryAt/srcReadyAt — the
+// visibility-point walk re-arms parked Delay-on-Miss loads through the
+// same field), the divider, in-flight MSHR fills, and the ROB head's
+// InvisiSpec exposure completion. Values at or before the current cycle
+// describe conditions that are already satisfied yet still blocked on
+// something non-temporal (a full resource, a taint frontier); time alone
+// cannot unblock those, so they are ignored. The sentinels neverRetry and
+// neverReady equal noWake and fall out of the min naturally.
+func (c *Core) nextWake() uint64 {
+	w := uint64(noWake)
+	consider := func(t uint64) {
+		if t > c.cycle && t < w {
+			w = t
+		}
+	}
+	if at, ok := c.events.nextAt(); ok {
+		consider(at)
+	}
+	if c.fe.qlen() > 0 {
+		consider(c.fe.queue[c.fe.head].readyAt)
+	}
+	if head := c.rob.peek(); head != nil && head.invisible && head.exposed {
+		consider(head.exposeDoneAt)
+	}
+	consider(c.divBusyUntil)
+	consider(c.hier.EarliestMSHRDone())
+	for _, u := range c.iq {
+		if u.state == stateSquashed {
+			continue
+		}
+		// Each entry wakes when the last of its time-based issue gates
+		// opens; a max with an unannounced operand (neverReady) correctly
+		// reports "no time-based wake" for that entry.
+		switch u.class() {
+		case isa.ClassStore:
+			if !u.addrIssued {
+				consider(max(u.retryAt, u.src1ReadyAt))
+			}
+			if !u.dataIssued {
+				consider(u.src2ReadyAt)
+			}
+		case isa.ClassLoad:
+			consider(max(u.retryAt, u.src1ReadyAt))
+		default:
+			consider(max(u.src1ReadyAt, u.src2ReadyAt))
+		}
+	}
+	return w
 }
 
 func (c *Core) result() Result {
@@ -264,6 +391,7 @@ func (c *Core) commitStage() {
 			}
 		}
 		c.rob.pop()
+		c.progressed = true
 		if c.vpDone > 0 {
 			// Head pop shifts the visibility-point walk's resume offset.
 			// An unvisited head (commit ran ahead of the walk, offset 0)
@@ -430,11 +558,14 @@ func (c *Core) vpStage() {
 			if u.missDelayed && u.state == stateWaiting {
 				// Delay-on-Miss wakeup: the miss is non-speculative now;
 				// the parked load may re-attempt its access next cycle.
+				// This re-arm is the explicit wake registration nextWake's
+				// retryAt scan depends on.
 				u.retryAt = c.cycle + 1
 			}
 			u.inNonSpecQ = true
 			c.nonSpecLoadQ = append(c.nonSpecLoadQ, u)
 		}
+		c.progressed = true
 		return true
 	})
 	// Broadcast non-speculative loads: at most one per memory port per
@@ -444,9 +575,15 @@ func (c *Core) vpStage() {
 	// are dropped without consuming a port: they put nothing on the
 	// broadcast network, so charging them a slot would under-model the
 	// bandwidth available to real broadcasts behind them in the queue.
-	for n := 0; n < c.cfg.MemPorts && len(c.nonSpecLoadQ) > 0; {
-		ld := c.nonSpecLoadQ[0]
-		c.nonSpecLoadQ = c.nonSpecLoadQ[1:]
+	// The queue drains from the front by index, with one compaction at the
+	// end of the cycle: popping via q = q[1:] would slide the slice along
+	// its backing array until the walk's append reallocates it — a
+	// per-window heap allocation in the hottest loop of the simulator.
+	q := c.nonSpecLoadQ
+	pop := 0
+	for n := 0; n < c.cfg.MemPorts && pop < len(q); {
+		ld := q[pop]
+		pop++
 		ld.inNonSpecQ = false
 		if ld.state == stateSquashed || ld.broadcasted {
 			if ld.dead {
@@ -470,6 +607,14 @@ func (c *Core) vpStage() {
 			}
 		}
 	}
+	if pop > 0 {
+		c.progressed = true
+		kept := copy(q, q[pop:])
+		for i := kept; i < len(q); i++ {
+			q[i] = nil // drop uop references
+		}
+		c.nonSpecLoadQ = q[:kept]
+	}
 }
 
 // exposeLoad performs the InvisiSpec exposure re-access for an invisible
@@ -479,6 +624,10 @@ func (c *Core) vpStage() {
 // caller retries next cycle (fills drain on their own, so this cannot
 // wedge).
 func (c *Core) exposeLoad(u *uop, now uint64) bool {
+	// Either outcome disqualifies idle-skipping this cycle: success mutates
+	// the hierarchy, and every stalled cycle is a real MSHR probe (with its
+	// own retry accounting) that the ticking machine performs per cycle.
+	c.progressed = true
 	if u.exposeTried == now+1 {
 		// commitStage already attempted (and failed) this exposure this
 		// cycle; the visibility-point walk runs after it and must not
@@ -516,6 +665,7 @@ func (c *Core) writebackStage() {
 		if !ok {
 			return
 		}
+		c.progressed = true
 		u := e.u
 		if u.state == stateSquashed {
 			continue // squashed after issue; the event outlived it
@@ -644,6 +794,7 @@ func (c *Core) squashAfterBranch(u *uop, conditional bool) {
 // flushPipeline squashes everything in flight and refetches from pc
 // (memory-ordering violation recovery).
 func (c *Core) flushPipeline(pc uint64) {
+	c.progressed = true
 	c.rob.squashYoungerThan(0, c.reclaim)
 	c.vpDone = 0
 	c.rat.restore(c.arat)
@@ -758,6 +909,7 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 	if !u.addrIssued && *slots > 0 && *memPorts > 0 && u.retryAt <= c.cycle &&
 		u.src1ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreAddr) {
 		*slots--
+		c.progressed = true // slot consumed: issue, or a state-mutating nop
 		if c.sch.onIssue(u, partStoreAddr) {
 			*memPorts--
 			u.addrIssued = true
@@ -772,6 +924,7 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 	}
 	if !u.dataIssued && *slots > 0 && u.src2ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreData) {
 		*slots--
+		c.progressed = true
 		if c.sch.onIssue(u, partStoreData) {
 			u.dataIssued = true
 			u.result = c.prf.read(u.ps2)
@@ -801,6 +954,10 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		return false
 	}
 	*slots--
+	// Every path from here mutates state (an issue, a nop with taint
+	// back-propagation, a retry backoff, a Delay-on-Miss park), so the
+	// cycle cannot be idle-skipped.
+	c.progressed = true
 	if !c.sch.onIssue(u, partWhole) {
 		return false // nop-ed by the taint unit; stays queued
 	}
@@ -915,6 +1072,7 @@ func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int
 		return false
 	}
 	*slots--
+	c.progressed = true
 	if !c.sch.onIssue(u, partWhole) {
 		return false
 	}
@@ -999,11 +1157,20 @@ func (c *Core) watchOperands(u *uop) {
 	}
 }
 
+// renameStall charges a rename-stall cycle to one cause counter and
+// records which, so an idle-cycle skip can charge every skipped cycle to
+// the same counter: the stall cause is a function of machine state that an
+// idle machine holds frozen.
+func (c *Core) renameStall(ctr *uint64) {
+	*ctr++
+	c.idleStall = ctr
+}
+
 func (c *Core) renameStage() {
 	for n := 0; n < c.cfg.Width; n++ {
 		e, ok := c.fe.peek(c.cycle)
 		if !ok {
-			c.Stats.RenameStallEmpty++
+			c.renameStall(&c.Stats.RenameStallEmpty)
 			return
 		}
 		in := e.inst
@@ -1013,25 +1180,26 @@ func (c *Core) renameStage() {
 		needsCkpt := cls == isa.ClassBranch || in.Op == isa.Jalr
 		switch {
 		case c.rob.full():
-			c.Stats.RenameStallROB++
+			c.renameStall(&c.Stats.RenameStallROB)
 			return
 		case needsIQ && len(c.iq) >= c.cfg.IQSize:
-			c.Stats.RenameStallIQ++
+			c.renameStall(&c.Stats.RenameStallIQ)
 			return
 		case cls == isa.ClassLoad && c.lsu.lqLen() >= c.cfg.LQSize:
-			c.Stats.RenameStallLQ++
+			c.renameStall(&c.Stats.RenameStallLQ)
 			return
 		case cls == isa.ClassStore && c.lsu.sqLen() >= c.cfg.SQSize:
-			c.Stats.RenameStallSQ++
+			c.renameStall(&c.Stats.RenameStallSQ)
 			return
 		case in.HasDest() && !c.prf.hasFree():
-			c.Stats.RenameStallPhys++
+			c.renameStall(&c.Stats.RenameStallPhys)
 			return
 		case needsCkpt && !c.ckpts.hasFree():
-			c.Stats.RenameStallCkpt++
+			c.renameStall(&c.Stats.RenameStallCkpt)
 			return
 		}
 		c.fe.consume()
+		c.progressed = true
 		c.seqCtr++
 		u := c.allocUop()
 		*u = uop{

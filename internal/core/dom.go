@@ -24,6 +24,13 @@ package core
 // under DoM no speculative load ever occupies an MSHR past the L1 — every
 // speculative cache access it observes must be an L1 hit.
 //
+// Idle-skip contract (core.Run): a parked load is invisible to time —
+// retryAt is neverRetry while it waits, so nextWake never wakes for it,
+// and the visibility-point walk's re-arm (retryAt = cycle+1) is the
+// explicit registration of the only event that can un-park it. A machine
+// whose every in-flight load is DoM-parked therefore warps straight to
+// the frontier advance that frees them.
+//
 // dom is also the smallest real drop-in example of the scheme registry:
 // embed baseline, override the hooks the microarchitecture modifies, and
 // self-register from init.

@@ -41,6 +41,18 @@ type eventQueue struct {
 
 func (q *eventQueue) empty() bool { return len(q.h) == 0 }
 
+// nextAt returns the fire cycle of the earliest pending event — the
+// idle-cycle skipper's primary wake target. Events of squashed uops count
+// too: they surface (and are discarded) at their fire cycle on the ticking
+// machine as well, and some wake times exist only through them (a squashed
+// divide's event still marks when the divider frees).
+func (q *eventQueue) nextAt() (uint64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].at, true
+}
+
 // clear drops every pending event (full-pipeline flush).
 func (q *eventQueue) clear() {
 	for i := range q.h {

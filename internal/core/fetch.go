@@ -26,9 +26,16 @@ type frontend struct {
 	btb  *branch.BTB
 	ras  *branch.RAS
 
-	pc      uint64
-	ghr     uint64
+	pc  uint64
+	ghr uint64
+	// The fetch buffer is a head-indexed deque over a fixed backing array:
+	// queue[head:] are the live entries. Consuming by reslicing (q = q[1:])
+	// would walk the slice along its array until the next append
+	// reallocates — a steady drip of garbage from the hottest producer in
+	// the simulator. push compacts the consumed prefix in place instead,
+	// so the buffer never allocates after construction.
 	queue   []fetchEntry
+	head    int
 	stalled bool // fetched a Halt (possibly wrong-path); wait for redirect
 
 	// Statistics.
@@ -47,13 +54,29 @@ func newFrontend(cfg *Config, prog *isa.Program) *frontend {
 		dir = branch.NewBimodal(4096)
 	}
 	return &frontend{
-		cfg:  cfg,
-		prog: prog,
-		dir:  dir,
-		btb:  branch.NewBTB(cfg.BTBSize),
-		ras:  branch.NewRAS(cfg.RASDepth),
-		pc:   prog.Entry,
+		cfg:   cfg,
+		prog:  prog,
+		dir:   dir,
+		btb:   branch.NewBTB(cfg.BTBSize),
+		ras:   branch.NewRAS(cfg.RASDepth),
+		pc:    prog.Entry,
+		queue: make([]fetchEntry, 0, cfg.FetchBufSize),
 	}
+}
+
+// qlen returns the number of buffered (unconsumed) fetch entries.
+func (f *frontend) qlen() int { return len(f.queue) - f.head }
+
+// push appends a fetch entry, compacting the consumed prefix in place when
+// the backing array is exhausted. The caller guarantees qlen < FetchBufSize,
+// so the post-compaction append always fits in the original allocation.
+func (f *frontend) push(e fetchEntry) {
+	if len(f.queue) == cap(f.queue) && f.head > 0 {
+		n := copy(f.queue, f.queue[f.head:])
+		f.queue = f.queue[:n]
+		f.head = 0
+	}
+	f.queue = append(f.queue, e)
 }
 
 // step fetches up to Width instructions along the predicted path.
@@ -62,7 +85,7 @@ func (f *frontend) step(now uint64) {
 		return
 	}
 	for n := 0; n < f.cfg.Width; n++ {
-		if len(f.queue) >= f.cfg.FetchBufSize {
+		if f.qlen() >= f.cfg.FetchBufSize {
 			return
 		}
 		in := f.prog.At(f.pc)
@@ -77,7 +100,7 @@ func (f *frontend) step(now uint64) {
 		redirected := false
 		switch isa.ClassOf(in.Op) {
 		case isa.ClassHalt:
-			f.queue = append(f.queue, e)
+			f.push(e)
 			f.stalled = true
 			return
 		case isa.ClassBranch:
@@ -133,7 +156,7 @@ func (f *frontend) step(now uint64) {
 			e.predTarget = e.pc + 1
 			f.pc = e.pc + 1
 		}
-		f.queue = append(f.queue, e)
+		f.push(e)
 		// A taken control instruction ends the fetch group.
 		if redirected && e.predTarget != e.pc+1 {
 			return
@@ -144,6 +167,7 @@ func (f *frontend) step(now uint64) {
 // redirect restarts fetch at pc, discarding the buffer.
 func (f *frontend) redirect(pc uint64) {
 	f.queue = f.queue[:0]
+	f.head = 0
 	f.stalled = false
 	f.pc = pc
 }
@@ -151,15 +175,19 @@ func (f *frontend) redirect(pc uint64) {
 // peek returns the oldest fetch entry if it has cleared the front-end
 // pipeline by cycle now, without consuming it.
 func (f *frontend) peek(now uint64) (fetchEntry, bool) {
-	if len(f.queue) == 0 || f.queue[0].readyAt > now {
+	if f.qlen() == 0 || f.queue[f.head].readyAt > now {
 		return fetchEntry{}, false
 	}
-	return f.queue[0], true
+	return f.queue[f.head], true
 }
 
 // consume removes the oldest fetch entry (after a successful peek).
 func (f *frontend) consume() {
-	f.queue = f.queue[1:]
+	f.head++
+	if f.head == len(f.queue) {
+		f.queue = f.queue[:0]
+		f.head = 0
+	}
 }
 
 func b2u(b bool) uint64 {

@@ -25,6 +25,13 @@ package core
 // every cache access by a speculative load is an invisible-buffer access
 // (never a demand access, never an MSHR), and exposures happen only at or
 // after the visibility point.
+//
+// Idle-skip contract (core.Run): an exposed ROB-head load waiting out its
+// exposure latency contributes exposeDoneAt as a nextWake candidate, and
+// an exposure attempt that bounces off a full MSHR file marks the cycle
+// as progressed — the retry happens on the very next tick, so the
+// ExposureRetries count stays exact without modeling the backoff as a
+// wake-up.
 type invisiSpec struct{ baseline }
 
 // KindInvisiSpec identifies the invisible-load scheme in the registry.

@@ -117,13 +117,22 @@ func (l *lsu) specBufDrop(u *uop) {
 	}
 }
 
-// commitOldest removes the queue head for a committing load or store.
+// commitOldest removes the queue head for a committing load or store. The
+// removal copies down in place rather than reslicing off the front:
+// sliding the slice along its backing array would make the rename-side
+// append reallocate once the capacity walks off the end — one heap
+// allocation per LQSize commits, forever. The copy is a handful of pointer
+// moves over a queue bounded by LQ/SQ size.
 func (l *lsu) commitOldest(u *uop) {
 	if u.isLoad() && len(l.lq) > 0 && l.lq[0] == u {
-		l.lq = l.lq[1:]
+		n := copy(l.lq, l.lq[1:])
+		l.lq[n] = nil
+		l.lq = l.lq[:n]
 	}
 	if u.isStore() && len(l.sq) > 0 && l.sq[0] == u {
-		l.sq = l.sq[1:]
+		n := copy(l.sq, l.sq[1:])
+		l.sq[n] = nil
+		l.sq = l.sq[:n]
 	}
 }
 

@@ -4,6 +4,12 @@ package core
 // the delayed, split load broadcast and the removal of speculative L1-hit
 // wakeup; the broadcast mechanics live in the core's writeback and
 // visibility-point stages.
+//
+// Idle-skip contract (core.Run): a withheld broadcast is released by the
+// visibility-point walk, which announces dependents ready at cycle+1 —
+// the release therefore lands in the dependents' cached srcReadyAt fields,
+// which nextWake scans. NDA never parks anything on a time it does not
+// register there.
 type nda struct{}
 
 func init() {

@@ -12,6 +12,14 @@ package core
 // The issue-stage taint unit reads the current cycle's non-speculative-
 // load frontier, one cycle fresher than what STT-Rename's rename-stage
 // state can see — the one-cycle issue advantage of Section 9.1.
+//
+// Idle-skip contract (core.Run): taint blocking (here and in STT-Rename)
+// is frontier-based, never time-based — a blocked transmitter unblocks
+// only when the non-speculative frontier advances, which requires some
+// other uop to make progress first. An idle cycle therefore cannot be
+// ended by a taint state change, and nextWake needs no candidate from the
+// taint unit; the warp replays the per-cycle TaintBlockedSelects charge
+// in bulk instead.
 type sttIssue struct {
 	c     *Core
 	taint []int64 // per physical register

@@ -267,6 +267,20 @@ func (h *Hierarchy) FlushLine(addr uint64) {
 	h.l2.InvalidateLine(line)
 }
 
+// EarliestMSHRDone returns the earliest completion cycle among the
+// outstanding MSHRs, or ^uint64(0) when none are in flight. This is the
+// explicit registration of the memory system's only implicit wake-up — "a
+// fill completes at cycle X" — for the core's idle-cycle skipper. The
+// value may be stale-low (a completed MSHR the lazy expiry has not
+// filtered yet); callers treating it as a wake hint must ignore values in
+// the past, which the skipper's future-only min does.
+func (h *Hierarchy) EarliestMSHRDone() uint64 {
+	if len(h.mshrs) == 0 {
+		return ^uint64(0)
+	}
+	return h.mshrMinDone
+}
+
 // OutstandingMisses returns the number of live MSHRs at cycle now.
 func (h *Hierarchy) OutstandingMisses(now uint64) int {
 	h.expire(now)

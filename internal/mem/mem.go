@@ -87,6 +87,25 @@ func (m *Main) Write(addr, val uint64) {
 	p.written[i/64] |= 1 << (i % 64)
 }
 
+// WriteRange stores a contiguous run of words starting at the (aligned)
+// address, page by page. This is the bulk image-load path: installing a
+// proxy benchmark's data segment word-by-word through a scratch
+// map[uint64]uint64 was the single largest cost of constructing a matrix
+// cell — more than the simulation it set up — almost all of it map rehash.
+// A contiguous copy touches each page once.
+func (m *Main) WriteRange(addr uint64, words []uint64) {
+	for len(words) > 0 {
+		p := m.pageFor(addr, true)
+		i := (addr >> 3) & wordMask
+		n := uint64(copy(p.words[i:], words))
+		for w := i; w < i+n; w++ {
+			p.written[w/64] |= 1 << (w % 64)
+		}
+		words = words[n:]
+		addr += 8 * n
+	}
+}
+
 // Footprint returns the number of distinct words ever written.
 func (m *Main) Footprint() int {
 	n := 0

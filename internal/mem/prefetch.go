@@ -10,6 +10,7 @@ type StridePrefetcher struct {
 	mask          uint64
 	confThreshold int
 	degree        int
+	scratch       []uint64 // reused Train return buffer; see Train
 
 	Trains     uint64
 	Issued     uint64
@@ -34,11 +35,16 @@ func NewStridePrefetcher(tableSize, confThreshold, degree int) *StridePrefetcher
 		mask:          uint64(tableSize - 1),
 		confThreshold: confThreshold,
 		degree:        degree,
+		scratch:       make([]uint64, 0, degree),
 	}
 }
 
 // Train observes a demand access by the load at pc to addr and returns the
-// addresses to prefetch (possibly none).
+// addresses to prefetch (possibly none). The returned slice is a scratch
+// buffer owned by the prefetcher and overwritten by the next Train call —
+// Train sits on the per-load hot path, and a fresh slice per confident
+// train was one of the simulator's last steady-state allocations. Callers
+// must consume it before training again (the hierarchy does, immediately).
 func (p *StridePrefetcher) Train(pc, addr uint64) []uint64 {
 	p.Trains++
 	e := &p.entries[pc&p.mask]
@@ -59,7 +65,7 @@ func (p *StridePrefetcher) Train(pc, addr uint64) []uint64 {
 	if e.conf < p.confThreshold || e.stride == 0 {
 		return nil
 	}
-	out := make([]uint64, 0, p.degree)
+	out := p.scratch[:0]
 	next := addr
 	for i := 0; i < p.degree; i++ {
 		next = uint64(int64(next) + e.stride)
