@@ -2,6 +2,7 @@ package shadowbinding
 
 import (
 	"context"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -293,6 +294,7 @@ func BenchmarkCoreMatrixThroughput(b *testing.B) {
 	var simCycles uint64
 	var cells int
 	b.ResetTimer()
+	m0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		m, err := RunMatrix(context.Background(), Configs(), Schemes(), benches, opts)
 		if err != nil {
@@ -301,8 +303,9 @@ func BenchmarkCoreMatrixThroughput(b *testing.B) {
 		simCycles += m.TotalSimCycles()
 		cells += m.NumRuns()
 	}
-	rep := harness.NewBenchReport(label, cells, simCycles, b.Elapsed(), 1)
+	rep := harness.NewBenchReport(label, cells, simCycles, b.Elapsed(), 1).WithAllocs(mallocsNow() - m0)
 	b.ReportMetric(rep.SimCyclesPerSec, "simCycles/s")
+	b.ReportMetric(rep.AllocsPerCycle, "allocs/simCycle")
 	if err := harness.WriteBenchReport("BENCH_core.json", rep); err != nil {
 		b.Fatal(err)
 	}
@@ -332,6 +335,7 @@ func BenchmarkLongMissMatrixThroughput(b *testing.B) {
 	var simCycles uint64
 	var cells int
 	b.ResetTimer()
+	m0 := mallocsNow()
 	for i := 0; i < b.N; i++ {
 		m, err := RunMatrix(context.Background(), Configs(), schemes, benches, opts)
 		if err != nil {
@@ -340,10 +344,58 @@ func BenchmarkLongMissMatrixThroughput(b *testing.B) {
 		simCycles += m.TotalSimCycles()
 		cells += m.NumRuns()
 	}
-	rep := harness.NewBenchReport("long-miss-matrix-j1", cells, simCycles, b.Elapsed(), 1)
+	rep := harness.NewBenchReport("long-miss-matrix-j1", cells, simCycles, b.Elapsed(), 1).WithAllocs(mallocsNow() - m0)
 	b.ReportMetric(rep.SimCyclesPerSec, "simCycles/s")
+	b.ReportMetric(rep.AllocsPerCycle, "allocs/simCycle")
 	appendBenchReport(b, "BENCH_core.json", rep)
 	b.Log(rep)
+}
+
+// BenchmarkSquashMatrixThroughput measures simulator throughput on the
+// squash-dominated corner of the matrix: the mispredict-heavy game-tree
+// proxies under every scheme. Wrong-path recovery — the ROB walk, arena
+// slot recycling, IQ filtering, LSU truncation, checkpoint restore —
+// dominates these cells, which is exactly the path the arena's
+// generation-counted handles keep allocation-free; the label exists to
+// keep that win ratcheted alongside the miss-dominated one. Runs under
+// -short too: the CI bench gate checks it alongside short-matrix-j1 and
+// long-miss-matrix-j1.
+func BenchmarkSquashMatrixThroughput(b *testing.B) {
+	var benches []Benchmark
+	for _, p := range Benchmarks() {
+		if p.Name == "531.deepsjeng" || p.Name == "541.leela" {
+			benches = append(benches, p)
+		}
+	}
+	opts := DefaultOptions()
+	opts.Parallelism = 1
+
+	var simCycles uint64
+	var cells int
+	b.ResetTimer()
+	m0 := mallocsNow()
+	for i := 0; i < b.N; i++ {
+		m, err := RunMatrix(context.Background(), Configs(), Schemes(), benches, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		simCycles += m.TotalSimCycles()
+		cells += m.NumRuns()
+	}
+	rep := harness.NewBenchReport("squash-matrix-j1", cells, simCycles, b.Elapsed(), 1).WithAllocs(mallocsNow() - m0)
+	b.ReportMetric(rep.SimCyclesPerSec, "simCycles/s")
+	b.ReportMetric(rep.AllocsPerCycle, "allocs/simCycle")
+	appendBenchReport(b, "BENCH_core.json", rep)
+	b.Log(rep)
+}
+
+// mallocsNow reads the process-wide cumulative heap-allocation count; the
+// delta across a measured window, amortized over simulated cycles, is the
+// allocs/simCycle metric the bench gate holds flat.
+func mallocsNow() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
 }
 
 // BenchmarkSessionCacheHit measures warm-cache Session throughput: how

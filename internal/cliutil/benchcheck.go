@@ -51,9 +51,32 @@ func CheckBenchRegression(baseline, current sb.BenchFile, label string, maxRegre
 			"benchcheck: %s regressed %.1f%% (limit %.0f%%): %.0f simCycles/s, baseline %.0f; if the slowdown is intentional, update BENCH_baseline.json",
 			label, -change, maxRegressPct, cur.SimCyclesPerSec, base.SimCyclesPerSec)
 	}
-	return fmt.Sprintf("%s: %.0f simCycles/s vs baseline %.0f (%+.1f%%, limit -%.0f%%)",
-		label, cur.SimCyclesPerSec, base.SimCyclesPerSec, change, maxRegressPct), nil
+	summary := fmt.Sprintf("%s: %.0f simCycles/s vs baseline %.0f (%+.1f%%, limit -%.0f%%)",
+		label, cur.SimCyclesPerSec, base.SimCyclesPerSec, change, maxRegressPct)
+	if base.AllocsPerCycle > 0 {
+		// The allocation gate is one-sided and tight: steady-state
+		// simulation allocates nothing, so allocs/simCycle measures
+		// amortized per-cell setup — near-deterministic, unlike wall-clock
+		// throughput — and ANY real increase means a hot-loop allocation
+		// source came back. The slack below only absorbs runtime-internal
+		// jitter (GC metadata, map growth), not a per-cycle allocation,
+		// which would blow past it a hundredfold. A current run without
+		// the metric reads as zero and passes: zero allocations can only
+		// be an improvement.
+		if cur.AllocsPerCycle > base.AllocsPerCycle*allocIncreaseSlack {
+			return "", fmt.Errorf(
+				"benchcheck: %s allocations regressed: %.4f allocs/simCycle, baseline %.4f (any increase fails); if the new allocations are intentional, update BENCH_baseline.json",
+				label, cur.AllocsPerCycle, base.AllocsPerCycle)
+		}
+		summary += fmt.Sprintf(", %.4f allocs/simCycle (baseline %.4f)", cur.AllocsPerCycle, base.AllocsPerCycle)
+	}
+	return summary, nil
 }
+
+// allocIncreaseSlack is the multiplicative headroom on the allocs/simCycle
+// gate — 5%, against a metric that jumps by orders of magnitude when a
+// per-cycle allocation reappears.
+const allocIncreaseSlack = 1.05
 
 // CheckAllBenchRegressions applies the gate to every label in the
 // baseline — a committed trajectory may never silently narrow, so a

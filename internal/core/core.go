@@ -42,26 +42,33 @@ type Core struct {
 	cycle  uint64
 	seqCtr uint64
 
+	// a is the arena every in-flight uop lives in (see arena.go): hot
+	// fields in struct-of-arrays slices for the per-cycle scans, cold
+	// fields in an AoS body, slots recycled through generation-counted
+	// handles the moment a uop commits or is squashed.
+	a *uopArena
+
 	rob    *rob
 	prf    *physRegFile
 	rat    *rat
 	arat   [isa.NumRegs]int // committed RAT (memory-ordering flush recovery)
 	ckpts  *checkpointFile
-	iq     []*uop
+	iq     []int32    // arena slots of waiting uops, program order
 	events eventQueue // scheduled completions of issued uops
 	lsu    *lsu
 	mdp    *memDepPredictor
 
-	// pool recycles committed uops back into rename, eliminating the
-	// per-rename allocation; vpDone counts the leading ROB entries the
-	// visibility-point walk has already passed (its resume offset).
-	pool   []*uop
+	// vpDone counts the leading ROB entries the visibility-point walk has
+	// already passed (its resume offset).
 	vpDone int
 
 	divBusyUntil uint64
 
 	// Visibility point and the bounded non-speculative-load broadcast.
-	nonSpecLoadQ []*uop
+	// The queue holds generation-counted handles: a queued load that
+	// commits (broadcast released there) or is squashed simply goes stale
+	// and is skipped by the drain without burning a broadcast port.
+	nonSpecLoadQ []uopRef
 	curSafeSeq   int64 // YRoT-safety frontier as of this cycle's broadcast
 	prevSafeSeq  int64 // frontier visible to rename-stage state (1 cycle stale)
 
@@ -105,16 +112,18 @@ func New(cfg Config, kind SchemeKind, prog *isa.Program) (*Core, error) {
 	if err := prog.Validate(); err != nil {
 		return nil, err
 	}
+	a := newUopArena()
 	c := &Core{
 		cfg:         cfg,
 		prog:        prog,
 		main:        mem.NewMain(),
 		hier:        mem.NewHierarchy(cfg.Hier),
-		rob:         newROB(cfg.ROBSize),
-		prf:         newPhysRegFile(cfg.PhysRegs),
+		a:           a,
+		rob:         newROB(cfg.ROBSize, a),
+		prf:         newPhysRegFile(cfg.PhysRegs, a),
 		rat:         newRAT(),
 		ckpts:       newCheckpointFile(cfg.MaxBranches),
-		lsu:         newLSU(),
+		lsu:         newLSU(a),
 		mdp:         newMemDepPredictor(),
 		curSafeSeq:  noYRoT,
 		prevSafeSeq: noYRoT,
@@ -312,30 +321,34 @@ func (c *Core) nextWake() uint64 {
 	if c.fe.qlen() > 0 {
 		consider(c.fe.queue[c.fe.head].readyAt)
 	}
-	if head := c.rob.peek(); head != nil && head.invisible && head.exposed {
-		consider(head.exposeDoneAt)
+	if head, ok := c.rob.peek(); ok {
+		if b := &c.a.body[head]; b.invisible && b.exposed {
+			consider(b.exposeDoneAt)
+		}
 	}
 	consider(c.divBusyUntil)
 	consider(c.hier.EarliestMSHRDone())
+	a := c.a
 	for _, u := range c.iq {
-		if u.state == stateSquashed {
+		if a.state[u] == stateSquashed {
 			continue
 		}
 		// Each entry wakes when the last of its time-based issue gates
 		// opens; a max with an unannounced operand (neverReady) correctly
 		// reports "no time-based wake" for that entry.
-		switch u.class() {
+		switch a.cls[u] {
 		case isa.ClassStore:
-			if !u.addrIssued {
-				consider(max(u.retryAt, u.src1ReadyAt))
+			b := &a.body[u]
+			if !b.addrIssued {
+				consider(max(a.retryAt[u], a.src1ReadyAt[u]))
 			}
-			if !u.dataIssued {
-				consider(u.src2ReadyAt)
+			if !b.dataIssued {
+				consider(a.src2ReadyAt[u])
 			}
 		case isa.ClassLoad:
-			consider(max(u.retryAt, u.src1ReadyAt))
+			consider(max(a.retryAt[u], a.src1ReadyAt[u]))
 		default:
-			consider(max(u.src1ReadyAt, u.src2ReadyAt))
+			consider(max(a.src1ReadyAt[u], a.src2ReadyAt[u]))
 		}
 	}
 	return w
@@ -356,37 +369,39 @@ func (c *Core) result() Result {
 
 func (c *Core) commitStage() {
 	for n := 0; n < c.cfg.Width; n++ {
-		u := c.rob.peek()
-		if u == nil {
+		u, ok := c.rob.peek()
+		if !ok {
 			return
 		}
-		if u.inst.Op == isa.Halt {
+		b := &c.a.body[u]
+		if b.inst.Op == isa.Halt {
 			c.halted = true
 			return
 		}
-		if !u.completed() {
+		if c.a.state[u] != stateDone {
 			return
 		}
-		if u.orderViolation && u.isLoad() {
+		if b.orderViolation && c.a.isLoad(u) {
 			// BOOM's memory-ordering recovery: flush at commit of the load
 			// that read stale data and refetch from it. The dependence
 			// predictor learns the PC so the refetched load waits for older
 			// store addresses instead of re-violating.
 			c.Stats.MemOrderFlushes++
-			c.mdp.record(u.pc)
-			c.flushPipeline(u.pc)
+			pc := b.pc
+			c.mdp.record(pc)
+			c.flushPipeline(pc)
 			return
 		}
-		if u.invisible {
+		if b.invisible {
 			// InvisiSpec: an invisible load cannot retire before its
 			// exposure re-access completes. Commit can outrun the
 			// visibility-point walk within a cycle, so the exposure may
 			// have to start here; reaching commit proves non-speculation.
-			u.nonSpec = true
-			if !u.exposed && !c.exposeLoad(u, c.cycle) {
+			b.nonSpec = true
+			if !b.exposed && !c.exposeLoad(u, c.cycle) {
 				return // all MSHRs busy; retry next cycle
 			}
-			if u.exposeDoneAt > c.cycle {
+			if b.exposeDoneAt > c.cycle {
 				return // exposure in flight; the load stalls at the head
 			}
 		}
@@ -400,7 +415,7 @@ func (c *Core) commitStage() {
 		}
 		c.lastCommitCycle = c.cycle
 		c.Stats.Committed++
-		switch u.class() {
+		switch c.a.cls[u] {
 		case isa.ClassLoad:
 			c.Stats.CommittedLoads++
 			// Commit is the definitive visibility point: a load can reach
@@ -408,20 +423,20 @@ func (c *Core) commitStage() {
 			// of the scan within a cycle), so advance the YRoT-safety
 			// frontier here or taints rooted at this load would never
 			// clear.
-			if !u.broadcasted {
-				u.broadcasted = true
-				if int64(u.seq) > c.curSafeSeq {
-					c.curSafeSeq = int64(u.seq)
+			if !b.broadcasted {
+				b.broadcasted = true
+				if seq := int64(c.a.seq[u]); seq > c.curSafeSeq {
+					c.curSafeSeq = seq
 				}
 				c.Stats.YRoTBroadcasts++
 			}
-			if u.broadcastPending {
+			if b.broadcastPending {
 				// The bounded broadcast network has not reached this load
 				// yet, but commit proves it non-speculative; release the
 				// ready broadcast before its register can be reallocated.
-				u.broadcastPending = false
-				if u.pd != noReg {
-					c.prf.announce(u.pd, c.cycle)
+				b.broadcastPending = false
+				if b.pd != noReg {
+					c.prf.announce(b.pd, c.cycle)
 					if c.Probe != nil {
 						c.probeBroadcast(u, c.cycle, false, true)
 					}
@@ -429,95 +444,76 @@ func (c *Core) commitStage() {
 			}
 		case isa.ClassStore:
 			c.Stats.CommittedStores++
-			c.main.Write(u.addr, u.result)
-			c.hier.Store(u.addr, c.cycle)
+			c.main.Write(b.addr, b.result)
+			c.hier.Store(b.addr, c.cycle)
 		case isa.ClassBranch:
 			c.Stats.CommittedBranches++
-			c.fe.dir.Update(u.pc, u.predHist, u.taken)
-			if u.taken {
-				c.fe.btb.Update(u.pc, u.target, false, false)
+			c.fe.dir.Update(b.pc, b.predHist, b.taken)
+			if b.taken {
+				c.fe.btb.Update(b.pc, b.target, false, false)
 			} else {
 				// A branch that stops being taken must not keep its stale
 				// taken-target entry: the front end only redirects on a
 				// direction-predictor taken AND a BTB hit, so a dead entry
 				// would force wrong-path redirects forever (e.g. after a
 				// loop exit).
-				c.fe.btb.Invalidate(u.pc)
+				c.fe.btb.Invalidate(b.pc)
 			}
 		case isa.ClassJump:
 			c.Stats.CommittedJumps++
-			if u.inst.Op == isa.Jalr {
-				isCall := u.inst.Rd == isa.RegLink
-				isRet := u.inst.Rd == isa.X0 && u.inst.Rs1 == isa.RegLink
-				c.fe.btb.Update(u.pc, u.target, isCall, isRet)
+			if b.inst.Op == isa.Jalr {
+				isCall := b.inst.Rd == isa.RegLink
+				isRet := b.inst.Rd == isa.X0 && b.inst.Rs1 == isa.RegLink
+				c.fe.btb.Update(b.pc, b.target, isCall, isRet)
 			}
 		}
-		if u.pd != noReg {
-			c.arat[u.inst.Rd] = u.pd
-			if u.stalePd != noReg {
-				c.prf.release(u.stalePd)
+		if b.pd != noReg {
+			c.arat[b.inst.Rd] = b.pd
+			if b.stalePd != noReg {
+				c.prf.release(b.stalePd)
 			}
 		}
 		c.releaseCheckpointOf(u)
 		c.lsu.commitOldest(u)
 		if c.CommitHook != nil {
-			c.CommitHook(commitRecord(u))
+			c.CommitHook(c.commitRecord(u))
 		}
-		c.freeUop(u)
+		// The slot recycles immediately: a committed uop has provably
+		// drained every live reference — its events fired before it could
+		// complete, its operand watches were announced before it could
+		// issue — and the one container that may still name it (the
+		// pending-broadcast queue) holds a generation-counted handle that
+		// just went stale.
+		c.a.release(u)
 	}
 }
 
-// allocUop takes a uop from the rename pool, or the heap when the pool is
-// dry; rename fully reinitializes every field.
-func (c *Core) allocUop() *uop {
-	if n := len(c.pool); n > 0 {
-		u := c.pool[n-1]
-		c.pool = c.pool[:n-1]
-		return u
-	}
-	return new(uop)
-}
-
-// freeUop recycles a committed uop into the rename pool. Only committed
-// uops are pooled: a squashed uop may still be referenced by a pending
-// completion event or a register-file wakeup list, and recycling it under
-// a live reference would corrupt an unrelated instruction. A committed
-// uop has provably drained every such reference — its events fired before
-// it could complete, its operands were announced before it could issue —
-// except a stale entry in the pending-broadcast queue, which inNonSpecQ
-// tracks; those are recycled when the queue drain reaches them.
-func (c *Core) freeUop(u *uop) {
-	if u.inNonSpecQ {
-		u.dead = true
+func (c *Core) releaseCheckpointOf(u int32) {
+	b := &c.a.body[u]
+	if b.ckpt < 0 {
 		return
 	}
-	c.pool = append(c.pool, u)
+	ck := c.ckpts.get(b.ckpt)
+	if ck.inUse && ck.seq == c.a.seq[u] {
+		c.ckpts.release(b.ckpt)
+	}
+	b.ckpt = -1
 }
 
-func (c *Core) releaseCheckpointOf(u *uop) {
-	if u.ckpt < 0 {
-		return
-	}
-	ck := c.ckpts.get(u.ckpt)
-	if ck.inUse && ck.seq == u.seq {
-		c.ckpts.release(u.ckpt)
-	}
-	u.ckpt = -1
-}
-
-func commitRecord(u *uop) isa.Commit {
+func (c *Core) commitRecord(u int32) isa.Commit {
+	b := &c.a.body[u]
 	rec := isa.Commit{
-		PC:     u.pc,
-		Inst:   u.inst,
-		Value:  u.result,
-		Taken:  u.taken,
-		Target: u.target,
+		PC:     b.pc,
+		Inst:   b.inst,
+		Value:  b.result,
+		Taken:  b.taken,
+		Target: b.target,
 	}
-	if u.isLoad() || u.isStore() {
-		rec.Addr = u.addr &^ 7
+	if c.a.isLoad(u) || c.a.isStore(u) {
+		rec.Addr = b.addr &^ 7
 	}
-	if u.pd != noReg {
-		rec.Rd = u.inst.Rd
+	if b.pd != noReg {
+		rec.Rd = b.inst.Rd
 	}
 	return rec
 }
@@ -529,14 +525,15 @@ func (c *Core) vpStage() {
 	// Resume the walk at the last stall point: everything older is
 	// already non-speculative (nonSpec is never cleared on a live uop),
 	// so re-walking from the head would only re-skip marked entries.
-	c.vpDone = c.rob.forEachFrom(c.vpDone, func(u *uop) bool {
-		if u.castsCShadow() && u.state != stateDone {
+	c.vpDone = c.rob.forEachFrom(c.vpDone, func(u int32) bool {
+		b := &c.a.body[u]
+		if c.a.castsCShadow(u) && c.a.state[u] != stateDone {
 			return false
 		}
-		if u.castsDShadow() && !u.addrReady {
+		if c.a.castsDShadow(u) && !b.addrReady {
 			return false
 		}
-		if u.isLoad() && u.orderViolation {
+		if c.a.isLoad(u) && b.orderViolation {
 			// A load that read stale data is bound to be squashed at
 			// commit, not committed: it must never reach the visibility
 			// point, or its (wrong, possibly secret) value would be
@@ -548,33 +545,33 @@ func (c *Core) vpStage() {
 		// observe (rather than assume) that exposures are never
 		// speculative — a load whose exposure stalls on a busy MSHR is
 		// already safe, it just hasn't paid the re-access yet.
-		u.nonSpec = true
-		if u.invisible && !u.exposed && !c.exposeLoad(u, c.cycle) {
+		b.nonSpec = true
+		if b.invisible && !b.exposed && !c.exposeLoad(u, c.cycle) {
 			// InvisiSpec exposure needs an MSHR and none is free: the
 			// walk stalls here and retries next cycle.
 			return false
 		}
-		if u.isLoad() {
-			if u.missDelayed && u.state == stateWaiting {
+		if c.a.isLoad(u) {
+			if b.missDelayed && c.a.state[u] == stateWaiting {
 				// Delay-on-Miss wakeup: the miss is non-speculative now;
 				// the parked load may re-attempt its access next cycle.
 				// This re-arm is the explicit wake registration nextWake's
 				// retryAt scan depends on.
-				u.retryAt = c.cycle + 1
+				c.a.retryAt[u] = c.cycle + 1
 			}
-			u.inNonSpecQ = true
-			c.nonSpecLoadQ = append(c.nonSpecLoadQ, u)
+			c.nonSpecLoadQ = append(c.nonSpecLoadQ, c.a.ref(u))
 		}
 		c.progressed = true
 		return true
 	})
 	// Broadcast non-speculative loads: at most one per memory port per
 	// cycle (the broadcast network shared by STT's YRoT wakeups and NDA's
-	// delayed ready broadcasts, Sections 4.4 and 5.1). Stale entries —
-	// loads already broadcast at commit, or squashed wrong-path loads —
-	// are dropped without consuming a port: they put nothing on the
-	// broadcast network, so charging them a slot would under-model the
-	// bandwidth available to real broadcasts behind them in the queue.
+	// delayed ready broadcasts, Sections 4.4 and 5.1). Stale handles —
+	// loads already broadcast at commit, or squashed wrong-path loads;
+	// either way the slot was released and the generation moved on — are
+	// dropped without consuming a port: they put nothing on the broadcast
+	// network, so charging them a slot would under-model the bandwidth
+	// available to real broadcasts behind them in the queue.
 	// The queue drains from the front by index, with one compaction at the
 	// end of the cycle: popping via q = q[1:] would slide the slice along
 	// its backing array until the walk's append reallocates it — a
@@ -582,26 +579,27 @@ func (c *Core) vpStage() {
 	q := c.nonSpecLoadQ
 	pop := 0
 	for n := 0; n < c.cfg.MemPorts && pop < len(q); {
-		ld := q[pop]
+		ref := q[pop]
 		pop++
-		ld.inNonSpecQ = false
-		if ld.state == stateSquashed || ld.broadcasted {
-			if ld.dead {
-				c.pool = append(c.pool, ld) // committed earlier; queue ref was the last
-			}
+		if !c.a.live(ref) {
+			continue
+		}
+		ld := ref.idx
+		b := &c.a.body[ld]
+		if b.broadcasted {
 			continue
 		}
 		n++
-		ld.broadcasted = true
-		if int64(ld.seq) > c.curSafeSeq {
-			c.curSafeSeq = int64(ld.seq)
+		b.broadcasted = true
+		if seq := int64(c.a.seq[ld]); seq > c.curSafeSeq {
+			c.curSafeSeq = seq
 		}
 		c.Stats.YRoTBroadcasts++
-		if ld.broadcastPending {
+		if b.broadcastPending {
 			// NDA: release the withheld ready broadcast; dependents can
 			// issue next cycle.
-			ld.broadcastPending = false
-			c.prf.announce(ld.pd, c.cycle+1)
+			b.broadcastPending = false
+			c.prf.announce(b.pd, c.cycle+1)
 			if c.Probe != nil {
 				c.probeBroadcast(ld, c.cycle+1, false, true)
 			}
@@ -610,9 +608,6 @@ func (c *Core) vpStage() {
 	if pop > 0 {
 		c.progressed = true
 		kept := copy(q, q[pop:])
-		for i := kept; i < len(q); i++ {
-			q[i] = nil // drop uop references
-		}
 		c.nonSpecLoadQ = q[:kept]
 	}
 }
@@ -623,26 +618,27 @@ func (c *Core) vpStage() {
 // gates the load's commit. It reports false when every MSHR is busy; the
 // caller retries next cycle (fills drain on their own, so this cannot
 // wedge).
-func (c *Core) exposeLoad(u *uop, now uint64) bool {
+func (c *Core) exposeLoad(u int32, now uint64) bool {
 	// Either outcome disqualifies idle-skipping this cycle: success mutates
 	// the hierarchy, and every stalled cycle is a real MSHR probe (with its
 	// own retry accounting) that the ticking machine performs per cycle.
 	c.progressed = true
-	if u.exposeTried == now+1 {
+	b := &c.a.body[u]
+	if b.exposeTried == now+1 {
 		// commitStage already attempted (and failed) this exposure this
 		// cycle; the visibility-point walk runs after it and must not
 		// probe the MSHR file again — one stalled cycle is one retry,
 		// not two.
 		return false
 	}
-	done, hit, ok := c.hier.Load(u.pc, u.addr, now)
+	done, hit, ok := c.hier.Load(b.pc, b.addr, now)
 	if !ok {
-		u.exposeTried = now + 1
+		b.exposeTried = now + 1
 		c.Stats.ExposureRetries++
 		return false
 	}
-	u.exposed = true
-	u.exposeDoneAt = done
+	b.exposed = true
+	b.exposeDoneAt = done
 	c.lsu.specBufDrop(u)
 	c.Stats.Exposures++
 	if c.Probe != nil {
@@ -658,7 +654,7 @@ func (c *Core) exposeLoad(u *uop, now uint64) bool {
 // in (cycle, seq) order, so same-cycle completions are processed oldest-
 // first — in particular, an older mispredicted branch squashes younger
 // same-cycle completions before their events surface, and those surface
-// as stateSquashed and are discarded.
+// with stale handles (the squash released their slots) and are discarded.
 func (c *Core) writebackStage() {
 	for {
 		e, ok := c.events.due(c.cycle)
@@ -666,23 +662,24 @@ func (c *Core) writebackStage() {
 			return
 		}
 		c.progressed = true
-		u := e.u
-		if u.state == stateSquashed {
-			continue // squashed after issue; the event outlived it
+		if !c.a.live(e.ref) {
+			continue // owner squashed after issue; the event outlived it
 		}
+		u := e.ref.idx
+		b := &c.a.body[u]
 		switch e.kind {
 		case evStoreAddr:
-			u.addrReady = true
+			b.addrReady = true
 			if v := c.lsu.checkViolations(u); v > 0 {
 				c.Stats.MemOrderViolations += uint64(v)
 			}
-			if u.dataReady {
-				u.state = stateDone
+			if b.dataReady {
+				c.a.state[u] = stateDone
 			}
 		case evStoreData:
-			u.dataReady = true
-			if u.addrReady {
-				u.state = stateDone
+			b.dataReady = true
+			if b.addrReady {
+				c.a.state[u] = stateDone
 			}
 		default:
 			c.completeUop(u)
@@ -690,18 +687,19 @@ func (c *Core) writebackStage() {
 	}
 }
 
-func (c *Core) completeUop(u *uop) {
-	u.state = stateDone
-	if u.pd != noReg {
-		c.prf.value[u.pd] = u.result
+func (c *Core) completeUop(u int32) {
+	c.a.state[u] = stateDone
+	b := &c.a.body[u]
+	if b.pd != noReg {
+		c.prf.value[b.pd] = b.result
 	}
-	switch u.class() {
+	switch c.a.cls[u] {
 	case isa.ClassLoad:
 		c.loadBroadcast(u)
 	case isa.ClassBranch:
 		c.resolveControl(u, true)
 	case isa.ClassJump:
-		if u.inst.Op == isa.Jalr {
+		if b.inst.Op == isa.Jalr {
 			c.resolveControl(u, false)
 		}
 	}
@@ -709,32 +707,34 @@ func (c *Core) completeUop(u *uop) {
 
 // loadBroadcast applies the scheme's broadcast policy when load data
 // arrives.
-func (c *Core) loadBroadcast(u *uop) {
-	if u.pd == noReg {
+func (c *Core) loadBroadcast(u int32) {
+	b := &c.a.body[u]
+	if b.pd == noReg {
 		return
 	}
-	if c.sch.delaysLoadBroadcast() && !u.nonSpec {
+	if c.sch.delaysLoadBroadcast() && !b.nonSpec {
 		// NDA: data is written to the register file but the ready
 		// broadcast is withheld until the load is non-speculative
 		// (Figure 5b's split data-write/broadcast buses).
-		u.broadcastPending = true
+		b.broadcastPending = true
 		c.Stats.DelayedBroadcasts++
 		return
 	}
 	if !c.sch.specWakeup(c.cfg.SpecWakeup) {
 		// Without speculative wakeup the broadcast follows writeback.
-		c.prf.announce(u.pd, c.cycle+1)
+		c.prf.announce(b.pd, c.cycle+1)
 		if c.Probe != nil {
-			c.probeBroadcast(u, c.cycle+1, !u.nonSpec, false)
+			c.probeBroadcast(u, c.cycle+1, !b.nonSpec, false)
 		}
 	}
 	// With speculative wakeup readyAt was announced (and probed) at issue.
 }
 
 // resolveControl handles branch/jalr resolution, squashing on mispredict.
-func (c *Core) resolveControl(u *uop, conditional bool) {
+func (c *Core) resolveControl(u int32, conditional bool) {
 	c.Stats.BranchesResolved++
-	if u.target == u.predTarget {
+	b := &c.a.body[u]
+	if b.target == b.predTarget {
 		c.releaseCheckpointOf(u)
 		return
 	}
@@ -745,50 +745,61 @@ func (c *Core) resolveControl(u *uop, conditional bool) {
 // ---------------------------------------------------------------------------
 // Squash and flush
 
-func (c *Core) reclaim(u *uop) {
+// reclaim kills one squashed uop and releases its arena slot on the spot.
+// Pending events, wakeup-list entries, and broadcast-queue entries that
+// still name the uop hold generation-counted handles, which the release
+// just invalidated — no deferred bookkeeping, no allocation, and the slot
+// is immediately reusable by the refetched path. The freed slot's data
+// stays readable until the next alloc, which the rest of the squash window
+// (IQ filter, LSU tail truncation) relies on.
+func (c *Core) reclaim(u int32) {
 	c.Stats.SquashedUops++
-	u.state = stateSquashed
+	c.a.state[u] = stateSquashed
 	// A squashed invisible load is discarded from the speculative buffer
 	// without ever being exposed — no cache state was touched, none will
 	// be (the InvisiSpec security argument).
 	c.lsu.specBufDrop(u)
-	if u.pd != noReg {
-		c.prf.release(u.pd)
-		u.pd = noReg
+	b := &c.a.body[u]
+	if b.pd != noReg {
+		c.prf.release(b.pd)
+		b.pd = noReg
 	}
+	c.a.release(u)
 }
 
 // squashAfterBranch restores state to the mispredicted control instruction
 // u and redirects fetch to its actual target. Younger checkpoints are
 // released; u's own checkpoint provides the RAT, taint (scheme), RAS, and
 // history recovery state.
-func (c *Core) squashAfterBranch(u *uop, conditional bool) {
-	ck := c.ckpts.get(u.ckpt)
-	c.rob.squashYoungerThan(u.seq, c.reclaim)
+func (c *Core) squashAfterBranch(u int32, conditional bool) {
+	b := &c.a.body[u]
+	seq := c.a.seq[u]
+	ck := c.ckpts.get(b.ckpt)
+	c.rob.squashYoungerThan(seq, c.reclaim)
 	if c.vpDone > c.rob.len() {
 		// The walk never passes an unresolved branch, so its visited
 		// prefix survives the tail truncation; cap it all the same.
 		c.vpDone = c.rob.len()
 	}
 	c.filterIQ()
-	c.pruneNonSpecLoadQ(u.seq)
-	c.lsu.squashYoungerThan(u.seq)
+	c.pruneNonSpecLoadQ(seq)
+	c.lsu.squashYoungerThan(seq)
 	c.rat.restore(ck.ratCopy)
-	c.sch.restoreCheckpoint(u.ckpt)
+	c.sch.restoreCheckpoint(b.ckpt)
 	c.fe.ras.Restore(ck.rasTop)
 	if conditional {
-		c.fe.ghr = ck.ghr<<1 | b2u(u.taken)
+		c.fe.ghr = ck.ghr<<1 | b2u(b.taken)
 	} else {
 		c.fe.ghr = ck.ghr
 	}
 	// Checkpoints held by squashed younger branches.
 	for id := range c.ckpts.cks {
-		if c.ckpts.cks[id].inUse && c.ckpts.cks[id].seq > u.seq {
+		if c.ckpts.cks[id].inUse && c.ckpts.cks[id].seq > seq {
 			c.ckpts.release(id)
 		}
 	}
 	c.releaseCheckpointOf(u)
-	c.fe.redirect(u.target)
+	c.fe.redirect(b.target)
 }
 
 // flushPipeline squashes everything in flight and refetches from pc
@@ -804,32 +815,21 @@ func (c *Core) flushPipeline(pc uint64) {
 	c.iq = c.iq[:0]
 	c.events.clear()
 	c.prf.clearWaiters()
-	for _, ld := range c.nonSpecLoadQ {
-		ld.inNonSpecQ = false
-		if ld.dead {
-			c.pool = append(c.pool, ld)
-		}
-	}
 	c.nonSpecLoadQ = c.nonSpecLoadQ[:0]
 	c.fe.redirect(pc)
 }
 
-// pruneNonSpecLoadQ drops squashed wrong-path loads from the pending
-// broadcast queue after a branch squash. flushPipeline clears the queue
-// wholesale, but a branch squash did not: a dead load left behind would be
-// popped by a later vpStage drain and its seq could advance curSafeSeq —
-// moving the YRoT-safety frontier on the say-so of a load that never
-// happened architecturally.
+// pruneNonSpecLoadQ drops dead entries from the pending broadcast queue
+// after a branch squash: every squashed load's handle just went stale.
+// flushPipeline clears the queue wholesale, but a branch squash did not —
+// and while the drain would skip stale handles anyway, leaving them queued
+// would make later vpStage drains report progress on cycles where nothing
+// real happened, shrinking idle-warp coverage.
 func (c *Core) pruneNonSpecLoadQ(limit uint64) {
 	live := c.nonSpecLoadQ[:0]
-	for _, ld := range c.nonSpecLoadQ {
-		if ld.seq <= limit && ld.state != stateSquashed {
-			live = append(live, ld)
-		} else {
-			ld.inNonSpecQ = false
-			if ld.dead {
-				c.pool = append(c.pool, ld)
-			}
+	for _, ref := range c.nonSpecLoadQ {
+		if c.a.live(ref) && c.a.seq[ref.idx] <= limit {
+			live = append(live, ref)
 		}
 	}
 	c.nonSpecLoadQ = live
@@ -838,7 +838,7 @@ func (c *Core) pruneNonSpecLoadQ(limit uint64) {
 func (c *Core) filterIQ() {
 	live := c.iq[:0]
 	for _, u := range c.iq {
-		if u.state != stateSquashed {
+		if c.a.state[u] != stateSquashed {
 			live = append(live, u)
 		}
 	}
@@ -851,9 +851,8 @@ func (c *Core) filterIQ() {
 // issueStage selects ready uops in age order. Readiness comes from the
 // scoreboard: each entry carries its operands' announced readiness times
 // (src1ReadyAt/src2ReadyAt, refreshed by physRegFile wakeups), so the scan
-// is integer compares — no per-operand register-file polling. Entries
-// whose operands have not been announced carry neverReady and are skipped
-// until their wakeup fires.
+// is integer compares over the arena's contiguous hot slices — no
+// per-operand register-file polling, no pointer chasing.
 func (c *Core) issueStage() {
 	slots := c.cfg.IssueWidth
 	memPorts := c.cfg.MemPorts
@@ -863,28 +862,30 @@ func (c *Core) issueStage() {
 
 	// The queue compacts in place, writing an entry only when something
 	// ahead of it actually left: on an all-stalled cycle the scan stores
-	// nothing at all (pointer stores cost GC write barriers).
+	// nothing at all.
+	a := c.a
 	iq := c.iq
 	w := 0
 	for i, u := range iq {
-		if u.state == stateSquashed {
+		if a.state[u] == stateSquashed {
 			continue
 		}
 		kept := true
 		if slots > 0 {
-			switch cls := u.class(); cls {
+			switch cls := a.cls[u]; cls {
 			case isa.ClassStore:
 				c.issueStoreParts(u, &slots, &memPorts)
-				kept = !(u.addrIssued && u.dataIssued)
+				b := &a.body[u]
+				kept = !(b.addrIssued && b.dataIssued)
 			case isa.ClassLoad:
 				// Not-ready fast path: the full attempt's own readiness
 				// short-circuit fires before any side effect, so skipping
 				// here is equivalent and keeps the scheme hooks cold.
-				if u.retryAt <= c.cycle && u.src1ReadyAt <= c.cycle {
+				if a.retryAt[u] <= c.cycle && a.src1ReadyAt[u] <= c.cycle {
 					kept = !c.issueLoad(u, &slots, &memPorts)
 				}
 			default:
-				if u.src1ReadyAt <= c.cycle && u.src2ReadyAt <= c.cycle {
+				if a.src1ReadyAt[u] <= c.cycle && a.src2ReadyAt[u] <= c.cycle {
 					kept = !c.issueSimple(u, cls, &slots, &aluUnits, &mulUnits, &divFree)
 				}
 			}
@@ -897,40 +898,38 @@ func (c *Core) issueStage() {
 		}
 	}
 	if w != len(iq) {
-		for i := w; i < len(iq); i++ {
-			iq[i] = nil // drop issued/squashed uop references
-		}
 		c.iq = iq[:w]
 	}
 }
 
 // issueStoreParts attempts the address and data halves of a store.
-func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
-	if !u.addrIssued && *slots > 0 && *memPorts > 0 && u.retryAt <= c.cycle &&
-		u.src1ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreAddr) {
+func (c *Core) issueStoreParts(u int32, slots, memPorts *int) {
+	b := &c.a.body[u]
+	if !b.addrIssued && *slots > 0 && *memPorts > 0 && c.a.retryAt[u] <= c.cycle &&
+		c.a.src1ReadyAt[u] <= c.cycle && c.sch.canSelect(u, partStoreAddr) {
 		*slots--
 		c.progressed = true // slot consumed: issue, or a state-mutating nop
 		if c.sch.onIssue(u, partStoreAddr) {
 			*memPorts--
-			u.addrIssued = true
-			u.addr = c.prf.read(u.ps1) + uint64(u.inst.Imm)
-			u.addrDoneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
+			b.addrIssued = true
+			b.addr = c.prf.read(b.ps1) + uint64(b.inst.Imm)
+			b.addrDoneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
 			c.Stats.IssuedUops++
-			c.schedule(u, u.addrDoneAt, evStoreAddr)
+			c.schedule(u, b.addrDoneAt, evStoreAddr)
 			if c.Probe != nil {
 				c.probeIssue(u, partStoreAddr)
 			}
 		}
 	}
-	if !u.dataIssued && *slots > 0 && u.src2ReadyAt <= c.cycle && c.sch.canSelect(u, partStoreData) {
+	if !b.dataIssued && *slots > 0 && c.a.src2ReadyAt[u] <= c.cycle && c.sch.canSelect(u, partStoreData) {
 		*slots--
 		c.progressed = true
 		if c.sch.onIssue(u, partStoreData) {
-			u.dataIssued = true
-			u.result = c.prf.read(u.ps2)
-			u.dataDoneAt = c.cycle + c.cfg.ExecDelay + 1
+			b.dataIssued = true
+			b.result = c.prf.read(b.ps2)
+			b.dataDoneAt = c.cycle + c.cfg.ExecDelay + 1
 			c.Stats.IssuedUops++
-			c.schedule(u, u.dataDoneAt, evStoreData)
+			c.schedule(u, b.dataDoneAt, evStoreData)
 			if c.Probe != nil {
 				c.probeIssue(u, partStoreData)
 			}
@@ -940,17 +939,17 @@ func (c *Core) issueStoreParts(u *uop, slots, memPorts *int) {
 
 // schedule enqueues a completion event for u's issued part and moves the
 // uop out of the waiting state.
-func (c *Core) schedule(u *uop, at uint64, kind evKind) {
-	if u.state == stateWaiting {
-		u.state = stateExecuting
+func (c *Core) schedule(u int32, at uint64, kind evKind) {
+	if c.a.state[u] == stateWaiting {
+		c.a.state[u] = stateExecuting
 	}
-	c.events.push(event{at: at, seq: u.seq, kind: kind, u: u})
+	c.events.push(event{at: at, seq: c.a.seq[u], kind: kind, ref: c.a.ref(u)})
 }
 
 // issueLoad attempts a load; it reports whether the uop left the queue.
-func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
-	if *memPorts <= 0 || u.retryAt > c.cycle ||
-		u.src1ReadyAt > c.cycle || !c.sch.canSelect(u, partWhole) {
+func (c *Core) issueLoad(u int32, slots, memPorts *int) bool {
+	if *memPorts <= 0 || c.a.retryAt[u] > c.cycle ||
+		c.a.src1ReadyAt[u] > c.cycle || !c.sch.canSelect(u, partWhole) {
 		return false
 	}
 	*slots--
@@ -962,13 +961,14 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		return false // nop-ed by the taint unit; stays queued
 	}
 	*memPorts--
-	u.addr = c.prf.read(u.ps1) + uint64(u.inst.Imm)
+	b := &c.a.body[u]
+	b.addr = c.prf.read(b.ps1) + uint64(b.inst.Imm)
 	res, val, fromSeq, sawUnknown := c.lsu.search(u)
-	if res == fwdNone && sawUnknown && c.mdp.mustWait(u.pc, c.cycle) {
+	if res == fwdNone && sawUnknown && c.mdp.mustWait(b.pc, c.cycle) {
 		// Dependence predictor: this load recently read stale data past an
 		// unresolved store address; wait instead of speculating no-alias.
 		c.Stats.MemDepStalls++
-		u.retryAt = c.cycle + 2
+		c.a.retryAt[u] = c.cycle + 2
 		return false
 	}
 	switch res {
@@ -976,18 +976,18 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 		// An older store to the same word has not read its data yet; the
 		// load replays once it has.
 		c.Stats.FwdWaits++
-		u.retryAt = c.cycle + 2
+		c.a.retryAt[u] = c.cycle + 2
 		return false
 	case fwdHit:
 		c.Stats.FwdHits++
-		u.result = val
-		u.fwdFromSeq = fromSeq
-		u.doneAt = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat + c.cfg.FwdLat
-		u.hitL1 = true
+		b.result = val
+		b.fwdFromSeq = fromSeq
+		c.a.doneAt[u] = c.cycle + c.cfg.ExecDelay + c.cfg.AGULat + c.cfg.FwdLat
+		b.hitL1 = true
 	case fwdNone:
 		at := c.cycle + c.cfg.ExecDelay + c.cfg.AGULat
-		if !u.nonSpec && c.sch.delaysSpecMiss() {
-			if _, hit := c.hier.Peek(u.addr, at); !hit {
+		if !b.nonSpec && c.sch.delaysSpecMiss() {
+			if _, hit := c.hier.Peek(b.addr, at); !hit {
 				// Delay-on-Miss: a speculative miss must leave no trace in
 				// the hierarchy. The load parks until the visibility-point
 				// walk marks it non-speculative and re-arms its retryAt
@@ -996,21 +996,21 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 				// re-arm path (the visibility-point walk) marks the
 				// load non-speculative first, so a woken load can
 				// never re-enter this branch.
-				u.missDelayed = true
+				b.missDelayed = true
 				c.Stats.DoMDelayedLoads++
-				u.retryAt = neverRetry
+				c.a.retryAt[u] = neverRetry
 				return false
 			}
 		}
-		if !u.nonSpec && c.sch.invisibleSpecLoads() {
+		if !b.nonSpec && c.sch.invisibleSpecLoads() {
 			// InvisiSpec: the access goes to the per-load speculative
 			// buffer — hierarchy latency, none of its side effects. The
 			// exposure re-access happens at the visibility point.
-			done, hit := c.hier.Peek(u.addr, at)
-			u.result = c.main.Read(u.addr)
-			u.doneAt = done
-			u.hitL1 = hit
-			u.invisible = true
+			done, hit := c.hier.Peek(b.addr, at)
+			b.result = c.main.Read(b.addr)
+			c.a.doneAt[u] = done
+			b.hitL1 = hit
+			b.invisible = true
 			if n := c.lsu.specBufAdd(u); n > c.Stats.SpecBufPeak {
 				c.Stats.SpecBufPeak = n
 			}
@@ -1020,30 +1020,30 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 			}
 			break
 		}
-		done, hit, ok := c.hier.Load(u.pc, u.addr, at)
+		done, hit, ok := c.hier.Load(b.pc, b.addr, at)
 		if !ok {
 			c.Stats.MSHRRetries++
-			u.retryAt = c.cycle + 2
+			c.a.retryAt[u] = c.cycle + 2
 			return false
 		}
-		u.result = c.main.Read(u.addr)
-		u.doneAt = done
-		u.hitL1 = hit
+		b.result = c.main.Read(b.addr)
+		c.a.doneAt[u] = done
+		b.hitL1 = hit
 		if c.Probe != nil {
 			c.probeCacheAccess(u, at, CacheAccessDemand, hit)
 		}
 	}
 	c.Stats.IssuedUops++
-	if !u.nonSpec {
+	if !b.nonSpec {
 		c.Stats.SpecLoadsExecuted++
 	}
-	if u.pd != noReg && c.sch.specWakeup(c.cfg.SpecWakeup) {
-		c.prf.announce(u.pd, u.doneAt)
+	if b.pd != noReg && c.sch.specWakeup(c.cfg.SpecWakeup) {
+		c.prf.announce(b.pd, c.a.doneAt[u])
 		if c.Probe != nil {
-			c.probeBroadcast(u, u.doneAt, !u.nonSpec, false)
+			c.probeBroadcast(u, c.a.doneAt[u], !b.nonSpec, false)
 		}
 	}
-	c.schedule(u, u.doneAt, evDone)
+	c.schedule(u, c.a.doneAt[u], evDone)
 	if c.Probe != nil {
 		c.probeIssue(u, partWhole)
 	}
@@ -1053,7 +1053,7 @@ func (c *Core) issueLoad(u *uop, slots, memPorts *int) bool {
 // issueSimple handles ALU, MUL, DIV, branch, and jump micro-ops; it
 // reports whether the uop left the queue. The caller passes the decoded
 // class and has already established operand readiness.
-func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int, divFree *bool) bool {
+func (c *Core) issueSimple(u int32, cls isa.Class, slots, aluUnits, mulUnits *int, divFree *bool) bool {
 	switch cls {
 	case isa.ClassMul:
 		if *mulUnits <= 0 {
@@ -1076,59 +1076,61 @@ func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int
 	if !c.sch.onIssue(u, partWhole) {
 		return false
 	}
-	a, b := c.prf.read(u.ps1), c.prf.read(u.ps2)
+	b := &c.a.body[u]
+	a, bb := c.prf.read(b.ps1), c.prf.read(b.ps2)
 	var lat uint64
 	switch cls {
 	case isa.ClassMul:
 		*mulUnits--
 		lat = c.cfg.MulLat
-		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+		b.result = isa.EvalALU(b.inst.Op, a, bb, b.inst.Imm)
 	case isa.ClassDiv:
 		*divFree = false
 		lat = c.cfg.DivLat
 		c.divBusyUntil = c.cycle + c.cfg.DivLat
-		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+		b.result = isa.EvalALU(b.inst.Op, a, bb, b.inst.Imm)
 	case isa.ClassBranch:
 		*aluUnits--
 		lat = c.cfg.ALULat
-		u.taken = isa.BranchTaken(u.inst.Op, a, b)
-		if u.taken {
-			u.target = uint64(int64(u.pc) + u.inst.Imm)
+		b.taken = isa.BranchTaken(b.inst.Op, a, bb)
+		if b.taken {
+			b.target = uint64(int64(b.pc) + b.inst.Imm)
 		} else {
-			u.target = u.pc + 1
+			b.target = b.pc + 1
 		}
 	case isa.ClassJump:
 		*aluUnits--
 		lat = c.cfg.ALULat
-		u.taken = true
-		if u.pd != noReg {
-			u.result = u.pc + 1 // link value
+		b.taken = true
+		if b.pd != noReg {
+			b.result = b.pc + 1 // link value
 		}
-		if u.inst.Op == isa.Jal {
-			u.target = uint64(int64(u.pc) + u.inst.Imm)
+		if b.inst.Op == isa.Jal {
+			b.target = uint64(int64(b.pc) + b.inst.Imm)
 		} else {
-			u.target = a + uint64(u.inst.Imm)
+			b.target = a + uint64(b.inst.Imm)
 		}
 	default: // ALU
 		*aluUnits--
 		lat = c.cfg.ALULat
-		u.result = isa.EvalALU(u.inst.Op, a, b, u.inst.Imm)
+		b.result = isa.EvalALU(b.inst.Op, a, bb, b.inst.Imm)
 	}
-	u.doneAt = c.cycle + lat
-	if u.inst.IsControl() {
+	doneAt := c.cycle + lat
+	if b.inst.IsControl() {
 		// Control resolution becomes visible only after the issue-to-
 		// execute depth; values still bypass at ALU latency.
-		u.doneAt += c.cfg.ExecDelay
+		doneAt += c.cfg.ExecDelay
 	}
-	if u.pd != noReg {
+	c.a.doneAt[u] = doneAt
+	if b.pd != noReg {
 		// The value is computed here and bypassed: consumers may read it
 		// as soon as readyAt, which can precede the (possibly delayed)
 		// writeback event.
-		c.prf.value[u.pd] = u.result
-		c.prf.announce(u.pd, c.cycle+lat)
+		c.prf.value[b.pd] = b.result
+		c.prf.announce(b.pd, c.cycle+lat)
 	}
 	c.Stats.IssuedUops++
-	c.schedule(u, u.doneAt, evDone)
+	c.schedule(u, doneAt, evDone)
 	if c.Probe != nil {
 		c.probeIssue(u, partWhole)
 	}
@@ -1142,17 +1144,18 @@ func (c *Core) issueSimple(u *uop, cls isa.Class, slots, aluUnits, mulUnits *int
 // entry and registers wakeup watches for operands whose producers have
 // not yet announced a completion time. From here on, readiness updates
 // flow to the entry through physRegFile.announce.
-func (c *Core) watchOperands(u *uop) {
-	if u.ps1 != noReg {
-		u.src1ReadyAt = c.prf.readyAt[u.ps1]
-		if u.src1ReadyAt == neverReady {
-			c.prf.watch(u.ps1, u)
+func (c *Core) watchOperands(u int32) {
+	b := &c.a.body[u]
+	if b.ps1 != noReg {
+		c.a.src1ReadyAt[u] = c.prf.readyAt[b.ps1]
+		if c.a.src1ReadyAt[u] == neverReady {
+			c.prf.watch(b.ps1, c.a.ref(u))
 		}
 	}
-	if u.ps2 != noReg {
-		u.src2ReadyAt = c.prf.readyAt[u.ps2]
-		if u.src2ReadyAt == neverReady && u.ps2 != u.ps1 {
-			c.prf.watch(u.ps2, u)
+	if b.ps2 != noReg {
+		c.a.src2ReadyAt[u] = c.prf.readyAt[b.ps2]
+		if c.a.src2ReadyAt[u] == neverReady && b.ps2 != b.ps1 {
+			c.prf.watch(b.ps2, c.a.ref(u))
 		}
 	}
 }
@@ -1201,12 +1204,12 @@ func (c *Core) renameStage() {
 		c.fe.consume()
 		c.progressed = true
 		c.seqCtr++
-		u := c.allocUop()
-		*u = uop{
-			seq:         c.seqCtr,
+		u := c.a.alloc()
+		c.a.seq[u] = c.seqCtr
+		c.a.cls[u] = cls
+		c.a.body[u] = uop{
 			pc:          e.pc,
 			inst:        in,
-			cls:         cls + 1,
 			pd:          noReg,
 			stalePd:     noReg,
 			ps1:         noReg,
@@ -1225,44 +1228,45 @@ func (c *Core) renameStage() {
 			rasTop:      e.rasTop,
 			target:      e.pc + 1,
 		}
+		b := &c.a.body[u]
 		if in.ReadsRs1() {
-			u.ps1 = c.rat.lookup(in.Rs1)
+			b.ps1 = c.rat.lookup(in.Rs1)
 		}
 		if in.ReadsRs2() {
-			u.ps2 = c.rat.lookup(in.Rs2)
+			b.ps2 = c.rat.lookup(in.Rs2)
 		}
 		if in.HasDest() {
-			u.pd = c.prf.alloc()
-			c.sch.allocPhys(u.pd)
-			u.stalePd = c.rat.write(in.Rd, u.pd)
+			b.pd = c.prf.alloc()
+			c.sch.allocPhys(b.pd)
+			b.stalePd = c.rat.write(in.Rd, b.pd)
 		}
 		c.sch.renameOne(u)
 		if needsCkpt {
 			id := c.ckpts.alloc()
 			ck := c.ckpts.get(id)
-			ck.seq = u.seq
+			ck.seq = c.seqCtr
 			ck.ratCopy = c.rat.snapshot()
 			ck.ghr = e.predHist
 			ck.rasTop = e.rasTop
-			u.ckpt = id
+			b.ckpt = id
 			c.sch.saveCheckpoint(id)
 		}
 		switch {
 		case cls == isa.ClassNop || cls == isa.ClassHalt:
-			u.state = stateDone
+			c.a.state[u] = stateDone
 		case in.Op == isa.Jal && in.Rd == isa.X0:
 			// A pure direct jump does no work and never mispredicts.
-			u.state = stateDone
-			u.taken = true
-			u.target = e.predTarget
+			c.a.state[u] = stateDone
+			b.taken = true
+			b.target = e.predTarget
 		default:
 			c.watchOperands(u)
 			c.iq = append(c.iq, u)
 		}
-		if u.isLoad() {
+		if cls == isa.ClassLoad {
 			c.lsu.addLoad(u)
 		}
-		if u.isStore() {
+		if cls == isa.ClassStore {
 			c.lsu.addStore(u)
 		}
 		c.rob.push(u)

@@ -7,18 +7,24 @@ import (
 )
 
 // TestSquashedLoadNeverAdvancesSafeSeq asserts the YRoT-safety invariant:
-// a squashed wrong-path load sitting in the pending broadcast queue must
-// not move curSafeSeq when the queue drains. Only live loads broadcast,
-// and stale entries burn no broadcast port.
+// a squashed wrong-path load's handle in the pending broadcast queue goes
+// stale when its arena slot is released — even after the slot is recycled
+// by a younger load — and must not move curSafeSeq when the queue drains.
+// Only live loads broadcast, and stale entries burn no broadcast port.
 func TestSquashedLoadNeverAdvancesSafeSeq(t *testing.T) {
 	cfg := MegaConfig()
 	cfg.MemPorts = 1
 	c := MustNew(cfg, KindBaseline, sumProgram(4))
+	a := c.a
 
-	dead := &uop{seq: 10, inst: isa.Inst{Op: isa.Ld}, state: stateSquashed, nonSpec: true}
-	stale := &uop{seq: 11, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, broadcasted: true, pd: noReg}
-	live := &uop{seq: 12, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
-	c.nonSpecLoadQ = append(c.nonSpecLoadQ, dead, stale, live)
+	dead := mkUop(a, 10, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true})
+	deadRef := a.ref(dead)
+	a.release(dead) // squash: the handle is now stale, the slot reusable
+	stale := mkUop(a, 11, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, broadcasted: true, pd: noReg})
+	a.state[stale] = stateDone
+	live := mkUop(a, 12, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	a.state[live] = stateDone
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, deadRef, a.ref(stale), a.ref(live))
 
 	c.vpStage()
 
@@ -38,46 +44,55 @@ func TestSquashedLoadNeverAdvancesSafeSeq(t *testing.T) {
 	}
 }
 
-// TestBroadcastPortNotBurnedByStaleEntries pins the port-accounting fix:
-// an entry already broadcast at commit is skipped for free, so a fresh
-// load behind it still gets the cycle's single port.
+// TestBroadcastPortNotBurnedByStaleEntries pins the port accounting: an
+// entry already broadcast at commit is skipped for free, so a fresh load
+// behind it still gets the cycle's single port.
 func TestBroadcastPortNotBurnedByStaleEntries(t *testing.T) {
 	cfg := MegaConfig()
 	cfg.MemPorts = 1
 	c := MustNew(cfg, KindBaseline, sumProgram(4))
+	a := c.a
 
-	stale := &uop{seq: 5, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, broadcasted: true, pd: noReg}
-	fresh1 := &uop{seq: 6, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
-	fresh2 := &uop{seq: 7, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
-	c.nonSpecLoadQ = append(c.nonSpecLoadQ, stale, fresh1, fresh2)
+	stale := mkUop(a, 5, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, broadcasted: true, pd: noReg})
+	a.state[stale] = stateDone
+	fresh1 := mkUop(a, 6, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	a.state[fresh1] = stateDone
+	fresh2 := mkUop(a, 7, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	a.state[fresh2] = stateDone
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, a.ref(stale), a.ref(fresh1), a.ref(fresh2))
 
 	c.vpStage()
 
-	if !fresh1.broadcasted {
+	if !a.body[fresh1].broadcasted {
 		t.Fatal("stale entry consumed the broadcast port; fresh load was starved")
 	}
-	if fresh2.broadcasted {
+	if a.body[fresh2].broadcasted {
 		t.Fatal("two broadcasts on a single-port cycle")
 	}
-	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0] != fresh2 {
+	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0].idx != fresh2 {
 		t.Fatalf("queue should hold only the second fresh load, got %d entries", len(c.nonSpecLoadQ))
 	}
 }
 
 // TestPruneNonSpecLoadQOnBranchSquash pins squashAfterBranch's pruning of
 // the pending broadcast queue: entries younger than the squashing branch,
-// and squashed entries of any age, are dropped.
+// and stale handles of any age, are dropped.
 func TestPruneNonSpecLoadQOnBranchSquash(t *testing.T) {
 	c := MustNew(MegaConfig(), KindBaseline, sumProgram(4))
+	a := c.a
 
-	older := &uop{seq: 1, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
-	squashed := &uop{seq: 3, inst: isa.Inst{Op: isa.Ld}, state: stateSquashed, nonSpec: true, pd: noReg}
-	younger := &uop{seq: 9, inst: isa.Inst{Op: isa.Ld}, state: stateDone, nonSpec: true, pd: noReg}
-	c.nonSpecLoadQ = append(c.nonSpecLoadQ, older, squashed, younger)
+	older := mkUop(a, 1, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	a.state[older] = stateDone
+	squashed := mkUop(a, 3, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	squashedRef := a.ref(squashed)
+	a.release(squashed)
+	younger := mkUop(a, 9, uop{inst: isa.Inst{Op: isa.Ld}, nonSpec: true, pd: noReg})
+	a.state[younger] = stateDone
+	c.nonSpecLoadQ = append(c.nonSpecLoadQ, a.ref(older), squashedRef, a.ref(younger))
 
 	c.pruneNonSpecLoadQ(6)
 
-	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0] != older {
+	if len(c.nonSpecLoadQ) != 1 || c.nonSpecLoadQ[0].idx != older {
 		t.Fatalf("prune kept %d entries, want only the older live load", len(c.nonSpecLoadQ))
 	}
 }

@@ -388,35 +388,36 @@ func TestDeterminism(t *testing.T) {
 }
 
 func TestROBRing(t *testing.T) {
-	r := newROB(4)
+	a := newUopArena()
+	r := newROB(4, a)
 	if !r.empty() || r.full() {
 		t.Fatal("fresh ROB state wrong")
 	}
 	for i := uint64(1); i <= 4; i++ {
-		r.push(&uop{seq: i})
+		r.push(mkUop(a, i, uop{}))
 	}
 	if !r.full() {
 		t.Fatal("ROB should be full")
 	}
-	n := r.squashYoungerThan(2, func(u *uop) {})
+	n := r.squashYoungerThan(2, func(u int32) { a.release(u) })
 	if n != 2 || r.len() != 2 {
 		t.Fatalf("squash removed %d, len %d", n, r.len())
 	}
-	if r.pop().seq != 1 || r.pop().seq != 2 {
+	if a.seq[r.pop()] != 1 || a.seq[r.pop()] != 2 {
 		t.Fatal("pop order wrong after squash")
 	}
 	// Wrap-around behaviour.
-	r.push(&uop{seq: 5})
-	r.push(&uop{seq: 6})
+	r.push(mkUop(a, 5, uop{}))
+	r.push(mkUop(a, 6, uop{}))
 	var seen []uint64
-	r.forEach(func(u *uop) bool { seen = append(seen, u.seq); return true })
+	r.forEach(func(u int32) bool { seen = append(seen, a.seq[u]); return true })
 	if len(seen) != 2 || seen[0] != 5 || seen[1] != 6 {
 		t.Fatalf("forEach after wrap = %v", seen)
 	}
 }
 
 func TestPhysRegFile(t *testing.T) {
-	p := newPhysRegFile(40)
+	p := newPhysRegFile(40, newUopArena())
 	if !p.readyBy(noReg, 0) {
 		t.Error("noReg must always be ready")
 	}

@@ -10,8 +10,11 @@ package core
 // pops exactly the events due this cycle.
 //
 // Events for squashed uops are not removed eagerly: they surface at their
-// fire time and are discarded, which is why squashed uops are never
-// recycled through the rename pool (see freeUop).
+// fire time and are discarded by the owner's generation mismatch (the
+// squash released the slot, so the event's uopRef went stale). The fire
+// time itself stays meaningful — at and seq are stored by value — which is
+// why nextAt may report a squashed owner's wake (a squashed divide's event
+// still marks when the divider frees).
 
 // evKind selects what completes when an event fires.
 type evKind uint8
@@ -22,12 +25,14 @@ const (
 	evStoreData               // store: data half completes
 )
 
-// event is one scheduled completion.
+// event is one scheduled completion. The owner is held by generation-
+// counted handle; at and seq are captured by value so ordering and wake
+// times survive the owner's death.
 type event struct {
 	at   uint64 // cycle the event fires
 	seq  uint64 // owner's age; orders same-cycle events oldest-first
 	kind evKind
-	u    *uop
+	ref  uopRef
 }
 
 // eventQueue is a binary min-heap ordered by (at, seq). Because every
@@ -44,8 +49,7 @@ func (q *eventQueue) empty() bool { return len(q.h) == 0 }
 // nextAt returns the fire cycle of the earliest pending event — the
 // idle-cycle skipper's primary wake target. Events of squashed uops count
 // too: they surface (and are discarded) at their fire cycle on the ticking
-// machine as well, and some wake times exist only through them (a squashed
-// divide's event still marks when the divider frees).
+// machine as well, and some wake times exist only through them.
 func (q *eventQueue) nextAt() (uint64, bool) {
 	if len(q.h) == 0 {
 		return 0, false
@@ -55,9 +59,6 @@ func (q *eventQueue) nextAt() (uint64, bool) {
 
 // clear drops every pending event (full-pipeline flush).
 func (q *eventQueue) clear() {
-	for i := range q.h {
-		q.h[i] = event{}
-	}
 	q.h = q.h[:0]
 }
 
@@ -88,7 +89,6 @@ func (q *eventQueue) due(now uint64) (event, bool) {
 	e := q.h[0]
 	last := len(q.h) - 1
 	q.h[0] = q.h[last]
-	q.h[last] = event{} // drop the uop reference for the garbage collector
 	q.h = q.h[:last]
 	i := 0
 	for {

@@ -2,6 +2,8 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/isa"
 )
 
 // TestEventQueueOrdering pins the heap's (at, seq) ordering: pops come out
@@ -9,13 +11,12 @@ import (
 // writeback stage relies on to process completions oldest-first.
 func TestEventQueueOrdering(t *testing.T) {
 	var q eventQueue
-	u := &uop{}
 	for _, e := range []event{
-		{at: 9, seq: 3, u: u},
-		{at: 5, seq: 7, u: u},
-		{at: 5, seq: 2, u: u},
-		{at: 12, seq: 1, u: u},
-		{at: 5, seq: 4, u: u},
+		{at: 9, seq: 3},
+		{at: 5, seq: 7},
+		{at: 5, seq: 2},
+		{at: 12, seq: 1},
+		{at: 5, seq: 4},
 	} {
 		q.push(e)
 	}
@@ -51,16 +52,17 @@ func TestEventQueueOrdering(t *testing.T) {
 // offset skips the visited prefix, a refusal returns the blocking offset,
 // and a full pass returns the count.
 func TestROBForEachFrom(t *testing.T) {
-	r := newROB(8)
+	a := newUopArena()
+	r := newROB(8, a)
 	for i := uint64(1); i <= 5; i++ {
-		r.push(&uop{seq: i})
+		r.push(mkUop(a, i, uop{}))
 	}
 	var seen []uint64
-	off := r.forEachFrom(0, func(u *uop) bool {
-		if u.seq == 3 {
+	off := r.forEachFrom(0, func(u int32) bool {
+		if a.seq[u] == 3 {
 			return false
 		}
-		seen = append(seen, u.seq)
+		seen = append(seen, a.seq[u])
 		return true
 	})
 	if off != 2 || len(seen) != 2 || seen[0] != 1 || seen[1] != 2 {
@@ -68,27 +70,27 @@ func TestROBForEachFrom(t *testing.T) {
 	}
 	// Resume past the blocker once it clears.
 	seen = seen[:0]
-	off = r.forEachFrom(off, func(u *uop) bool { seen = append(seen, u.seq); return true })
+	off = r.forEachFrom(off, func(u int32) bool { seen = append(seen, a.seq[u]); return true })
 	if off != r.len() || len(seen) != 3 || seen[0] != 3 {
 		t.Fatalf("resumed walk: off %d, seen %v", off, seen)
 	}
 	// Offsets survive head pops (the caller shifts them down) and work
 	// across the ring seam.
-	r.pop()
-	r.pop()
-	r.push(&uop{seq: 6})
-	r.push(&uop{seq: 7})
+	a.release(r.pop())
+	a.release(r.pop())
+	r.push(mkUop(a, 6, uop{}))
+	r.push(mkUop(a, 7, uop{}))
 	seen = seen[:0]
-	off = r.forEachFrom(3, func(u *uop) bool { seen = append(seen, u.seq); return true })
+	off = r.forEachFrom(3, func(u int32) bool { seen = append(seen, a.seq[u]); return true })
 	if off != r.len() || len(seen) != 2 || seen[0] != 6 || seen[1] != 7 {
 		t.Fatalf("wrapped walk: off %d, seen %v", off, seen)
 	}
 }
 
-// TestUopPoolRecycles asserts the rename pool actually recycles committed
-// uops: after a run, rename must have reused pooled uops instead of
-// allocating one per rename.
-func TestUopPoolRecycles(t *testing.T) {
+// TestUopArenaRecycles asserts commit and squash actually recycle arena
+// slots: after a run, the arena's footprint must be bounded by pipeline
+// depth, not by instruction count.
+func TestUopArenaRecycles(t *testing.T) {
 	c := MustNew(MegaConfig(), KindBaseline, sumProgram(200))
 	res, err := c.Run(RunLimits{MaxCycles: 100_000})
 	if err != nil {
@@ -97,12 +99,42 @@ func TestUopPoolRecycles(t *testing.T) {
 	if !res.Halted {
 		t.Fatal("did not halt")
 	}
-	if len(c.pool) == 0 {
-		t.Fatal("rename pool empty after a full run; commit is not recycling uops")
+	if len(c.a.free) == 0 {
+		t.Fatal("arena free list empty after a full run; commit is not releasing slots")
 	}
-	// Far fewer live uops than renames: the pool bounds allocations by
-	// pipeline depth, not instruction count.
-	if got := len(c.pool); uint64(got) >= res.Insts {
-		t.Fatalf("pool holds %d uops for %d committed instructions; recycling is not bounding allocations", got, res.Insts)
+	// Far fewer slots than renames: recycling bounds the arena by the
+	// in-flight window (ROB size), not by the committed instruction count.
+	if got := len(c.a.body); got > c.cfg.ROBSize || uint64(got) >= res.Insts {
+		t.Fatalf("arena grew to %d slots for %d committed instructions (ROB %d); recycling is not bounding growth",
+			got, res.Insts, c.cfg.ROBSize)
+	}
+}
+
+// TestArenaGenerationStaleness pins the handle contract everything else
+// relies on: a release invalidates every outstanding ref to the slot, and
+// a recycled slot's new ref does not validate the old one.
+func TestArenaGenerationStaleness(t *testing.T) {
+	a := newUopArena()
+	u := mkUop(a, 1, uop{inst: isa.Inst{Op: isa.Ld}})
+	ref := a.ref(u)
+	if !a.live(ref) {
+		t.Fatal("fresh ref must be live")
+	}
+	a.release(u)
+	if a.live(ref) {
+		t.Fatal("ref survived its uop's release")
+	}
+	u2 := mkUop(a, 2, uop{inst: isa.Inst{Op: isa.Add}})
+	if u2 != u {
+		t.Fatalf("LIFO free list expected: got slot %d, want %d", u2, u)
+	}
+	if a.live(ref) {
+		t.Fatal("stale ref validated against the slot's new occupant")
+	}
+	if !a.live(a.ref(u2)) {
+		t.Fatal("recycled slot's own ref must be live")
+	}
+	if a.cls[u2] != isa.ClassALU || a.seq[u2] != 2 {
+		t.Fatalf("recycled slot kept stale hot fields: cls %v seq %d", a.cls[u2], a.seq[u2])
 	}
 }

@@ -174,30 +174,40 @@ func TestIdleSkipEngages(t *testing.T) {
 }
 
 // TestSteadyStateZeroAlloc pins the allocation-free hot loop: once warmed
-// up, the core must simulate at zero heap allocations per cycle. The
-// workload is miss-heavy but well predicted — squashed uops are
-// deliberately never pooled (a pending event or wakeup list may still
-// reference them; see freeUop), so wrong-path work is the one steady-state
-// consumer of fresh uops, and a squash-free stream must allocate nothing
-// at all.
+// up, the core must simulate at zero heap allocations per cycle. Both
+// phases of the uop lifecycle are covered: the predictable case exercises
+// the commit path (slots recycle at retirement), and the mispredicting
+// case hammers the squash path — wrong-path uops must recycle through the
+// arena free list the moment they are reclaimed, since a squashed slot's
+// lingering references (pending events, wakeup lists, the broadcast queue)
+// are generation-checked handles, not liveness keep-alives.
 func TestSteadyStateZeroAlloc(t *testing.T) {
-	for _, kind := range []SchemeKind{KindBaseline, KindSTTRename, KindDoM, KindInvisiSpec} {
-		prog := missChaseProgram(1<<40, false)
-		c := MustNew(MegaConfig(), kind, prog)
-		// Warm every pool past its high-water mark: uop pool, event heap,
-		// queues, memory pages, predictor tables.
-		if _, err := c.Run(RunLimits{MaxCycles: 20_000}); err != nil {
-			t.Fatalf("%v: warmup: %v", kind, err)
-		}
-		target := c.Cycle()
-		avg := testing.AllocsPerRun(50, func() {
-			target += 500
-			if _, err := c.Run(RunLimits{MaxCycles: target}); err != nil {
-				t.Fatalf("%v: %v", kind, err)
+	cases := []struct {
+		name       string
+		mispredict bool
+	}{
+		{"predictable", false},
+		{"squash-heavy", true},
+	}
+	for _, tc := range cases {
+		for _, kind := range []SchemeKind{KindBaseline, KindSTTRename, KindDoM, KindInvisiSpec} {
+			prog := missChaseProgram(1<<40, tc.mispredict)
+			c := MustNew(MegaConfig(), kind, prog)
+			// Warm every pool past its high-water mark: arena, event heap,
+			// queues, memory pages, predictor tables.
+			if _, err := c.Run(RunLimits{MaxCycles: 20_000}); err != nil {
+				t.Fatalf("%s/%v: warmup: %v", tc.name, kind, err)
 			}
-		})
-		if avg != 0 {
-			t.Errorf("%v: steady-state Run allocates: %.2f allocs per 500 cycles", kind, avg)
+			target := c.Cycle()
+			avg := testing.AllocsPerRun(50, func() {
+				target += 500
+				if _, err := c.Run(RunLimits{MaxCycles: target}); err != nil {
+					t.Fatalf("%s/%v: %v", tc.name, kind, err)
+				}
+			})
+			if avg != 0 {
+				t.Errorf("%s/%v: steady-state Run allocates: %.2f allocs per 500 cycles", tc.name, kind, avg)
+			}
 		}
 	}
 }

@@ -2,7 +2,10 @@ package core
 
 // lsu holds the load and store queues and implements store-to-load
 // forwarding and memory-ordering-violation detection. Queues are kept in
-// program (seq) order; capacities are enforced at rename.
+// program (seq) order; capacities are enforced at rename. Entries are raw
+// arena indices: a uop's queue entry is removed at the same pipeline event
+// that ends its life (head removal at commit, tail truncation at squash),
+// so the queues never hold a recycled slot across a cycle boundary.
 //
 // The LSU speculates that loads do not alias older stores with unresolved
 // addresses ("always predict no-alias", as the unmodified BOOM does). When
@@ -13,8 +16,9 @@ package core
 // machinery: schemes that delay store address generation suffer more such
 // violations.
 type lsu struct {
-	lq []*uop
-	sq []*uop
+	a  *uopArena
+	lq []int32
+	sq []int32
 
 	// specBufLive counts the live InvisiSpec speculative-buffer entries.
 	// The buffer is modeled per load-queue entry (an invisible load holds
@@ -23,19 +27,19 @@ type lsu struct {
 	specBufLive int
 }
 
-func newLSU() *lsu { return &lsu{} }
+func newLSU(a *uopArena) *lsu { return &lsu{a: a} }
 
 func (l *lsu) lqLen() int { return len(l.lq) }
 func (l *lsu) sqLen() int { return len(l.sq) }
 
-func (l *lsu) addLoad(u *uop) {
-	u.lqIdx = len(l.lq)
-	l.lq = append(l.lq, u)
+func (l *lsu) addLoad(i int32) {
+	l.a.body[i].lqIdx = len(l.lq)
+	l.lq = append(l.lq, i)
 }
 
-func (l *lsu) addStore(u *uop) {
-	u.sqIdx = len(l.sq)
-	l.sq = append(l.sq, u)
+func (l *lsu) addStore(i int32) {
+	l.a.body[i].sqIdx = len(l.sq)
+	l.sq = append(l.sq, i)
 }
 
 // fwdResult is the outcome of a forwarding search.
@@ -50,13 +54,16 @@ const (
 // search scans older stores for the load's address (8-byte word
 // granularity), youngest first. sawUnknown reports whether any older store
 // had an unresolved address, i.e. the load would execute speculatively.
-func (l *lsu) search(load *uop) (res fwdResult, value uint64, fromSeq int64, sawUnknown bool) {
-	addr := load.addr &^ 7
+func (l *lsu) search(load int32) (res fwdResult, value uint64, fromSeq int64, sawUnknown bool) {
+	a := l.a
+	addr := a.body[load].addr &^ 7
+	loadSeq := a.seq[load]
 	for i := len(l.sq) - 1; i >= 0; i-- {
-		st := l.sq[i]
-		if st.seq >= load.seq {
+		si := l.sq[i]
+		if a.seq[si] >= loadSeq {
 			continue
 		}
+		st := &a.body[si]
 		if !st.addrReady {
 			sawUnknown = true
 			continue
@@ -65,9 +72,9 @@ func (l *lsu) search(load *uop) (res fwdResult, value uint64, fromSeq int64, saw
 			continue
 		}
 		if st.dataReady {
-			return fwdHit, st.result, int64(st.seq), sawUnknown
+			return fwdHit, st.result, int64(a.seq[si]), sawUnknown
 		}
-		return fwdWait, 0, int64(st.seq), sawUnknown
+		return fwdWait, 0, int64(a.seq[si]), sawUnknown
 	}
 	return fwdNone, 0, -1, sawUnknown
 }
@@ -77,17 +84,20 @@ func (l *lsu) search(load *uop) (res fwdResult, value uint64, fromSeq int64, saw
 // this store (or a younger one) read stale data. The offending loads are
 // marked; the oldest will flush the pipeline at commit. Returns the number
 // of violations found.
-func (l *lsu) checkViolations(st *uop) int {
+func (l *lsu) checkViolations(st int32) int {
 	n := 0
-	addr := st.addr &^ 7
-	for _, ld := range l.lq {
-		if ld.seq <= st.seq || ld.state == stateWaiting || ld.state == stateSquashed {
+	a := l.a
+	addr := a.body[st].addr &^ 7
+	stSeq := a.seq[st]
+	for _, li := range l.lq {
+		if a.seq[li] <= stSeq || a.state[li] == stateWaiting || a.state[li] == stateSquashed {
 			continue
 		}
+		ld := &a.body[li]
 		if ld.addr&^7 != addr {
 			continue
 		}
-		if ld.fwdFromSeq >= int64(st.seq) {
+		if ld.fwdFromSeq >= int64(stSeq) {
 			continue // got its data from this store or a younger one
 		}
 		if !ld.orderViolation {
@@ -100,8 +110,8 @@ func (l *lsu) checkViolations(st *uop) int {
 
 // specBufAdd claims a speculative-buffer entry for an invisible load and
 // returns the new occupancy (for the peak statistic).
-func (l *lsu) specBufAdd(u *uop) int {
-	u.inSpecBuf = true
+func (l *lsu) specBufAdd(i int32) int {
+	l.a.body[i].inSpecBuf = true
 	l.specBufLive++
 	return l.specBufLive
 }
@@ -110,9 +120,10 @@ func (l *lsu) specBufAdd(u *uop) int {
 // at exposure, or when a squash kills the load before it ever reached the
 // visibility point (the no-side-effect discard that makes wrong-path
 // invisible loads invisible for good).
-func (l *lsu) specBufDrop(u *uop) {
-	if u.inSpecBuf {
-		u.inSpecBuf = false
+func (l *lsu) specBufDrop(i int32) {
+	b := &l.a.body[i]
+	if b.inSpecBuf {
+		b.inSpecBuf = false
 		l.specBufLive--
 	}
 }
@@ -121,27 +132,28 @@ func (l *lsu) specBufDrop(u *uop) {
 // removal copies down in place rather than reslicing off the front:
 // sliding the slice along its backing array would make the rename-side
 // append reallocate once the capacity walks off the end — one heap
-// allocation per LQSize commits, forever. The copy is a handful of pointer
-// moves over a queue bounded by LQ/SQ size.
-func (l *lsu) commitOldest(u *uop) {
-	if u.isLoad() && len(l.lq) > 0 && l.lq[0] == u {
+// allocation per LQSize commits, forever. The copy is a handful of moves
+// over a queue bounded by LQ/SQ size.
+func (l *lsu) commitOldest(i int32) {
+	if l.a.isLoad(i) && len(l.lq) > 0 && l.lq[0] == i {
 		n := copy(l.lq, l.lq[1:])
-		l.lq[n] = nil
 		l.lq = l.lq[:n]
 	}
-	if u.isStore() && len(l.sq) > 0 && l.sq[0] == u {
+	if l.a.isStore(i) && len(l.sq) > 0 && l.sq[0] == i {
 		n := copy(l.sq, l.sq[1:])
-		l.sq[n] = nil
 		l.sq = l.sq[:n]
 	}
 }
 
-// squashYoungerThan drops all queue entries with seq > limit.
+// squashYoungerThan drops all queue entries with seq > limit. It runs
+// inside the squash window, after the ROB walk released the squashed
+// slots: the freed tails are readable (nothing reallocates mid-squash)
+// and their seq values still identify them.
 func (l *lsu) squashYoungerThan(limit uint64) {
-	for len(l.lq) > 0 && l.lq[len(l.lq)-1].seq > limit {
+	for len(l.lq) > 0 && l.a.seq[l.lq[len(l.lq)-1]] > limit {
 		l.lq = l.lq[:len(l.lq)-1]
 	}
-	for len(l.sq) > 0 && l.sq[len(l.sq)-1].seq > limit {
+	for len(l.sq) > 0 && l.a.seq[l.sq[len(l.sq)-1]] > limit {
 		l.sq = l.sq[:len(l.sq)-1]
 	}
 }

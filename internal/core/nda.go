@@ -22,15 +22,15 @@ func init() {
 	})
 }
 
-func (nda) kind() SchemeKind               { return KindNDA }
-func (nda) renameOne(*uop)                 {}
-func (nda) allocPhys(int)                  {}
-func (nda) saveCheckpoint(int)             {}
-func (nda) restoreCheckpoint(int)          {}
-func (nda) fullFlush()                     {}
-func (nda) canSelect(*uop, issuePart) bool { return true }
-func (nda) onIssue(*uop, issuePart) bool   { return true }
-func (nda) delaysLoadBroadcast() bool      { return true }
-func (nda) specWakeup(bool) bool           { return false }
-func (nda) delaysSpecMiss() bool           { return false }
-func (nda) invisibleSpecLoads() bool       { return false }
+func (nda) kind() SchemeKind                { return KindNDA }
+func (nda) renameOne(int32)                 {}
+func (nda) allocPhys(int)                   {}
+func (nda) saveCheckpoint(int)              {}
+func (nda) restoreCheckpoint(int)           {}
+func (nda) fullFlush()                      {}
+func (nda) canSelect(int32, issuePart) bool { return true }
+func (nda) onIssue(int32, issuePart) bool   { return true }
+func (nda) delaysLoadBroadcast() bool       { return true }
+func (nda) specWakeup(bool) bool            { return false }
+func (nda) delaysSpecMiss() bool            { return false }
+func (nda) invisibleSpecLoads() bool        { return false }

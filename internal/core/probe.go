@@ -126,34 +126,35 @@ type CacheAccessEvent struct {
 // dispatch a read-only view of the taint governing an issuing part. It is
 // queried only when a Probe is attached.
 type taintQuerier interface {
-	taintedPart(u *uop, part issuePart) bool
+	taintedPart(u int32, part issuePart) bool
 }
 
 // probeIssue reports a successful issue to the attached Probe. Callers
 // check c.Probe != nil first so the nil case costs one compare.
-func (c *Core) probeIssue(u *uop, part issuePart) {
+func (c *Core) probeIssue(u int32, part issuePart) {
 	tainted := false
 	if c.taintQ != nil {
 		tainted = c.taintQ.taintedPart(u, part)
 	}
+	b := &c.a.body[u]
 	c.Probe.OnIssue(IssueEvent{
 		Cycle:       c.cycle,
-		Seq:         u.seq,
-		PC:          u.pc,
-		Op:          u.inst.Op,
+		Seq:         c.a.seq[u],
+		PC:          b.pc,
+		Op:          b.inst.Op,
 		Part:        part,
-		Transmitter: transmitterPart(u, part),
-		Speculative: !u.nonSpec,
+		Transmitter: c.a.transmitterPart(u, part),
+		Speculative: !b.nonSpec,
 		Tainted:     tainted,
 	})
 }
 
 // probeBroadcast reports a load ready broadcast to the attached Probe.
-func (c *Core) probeBroadcast(u *uop, at uint64, speculative, delayed bool) {
+func (c *Core) probeBroadcast(u int32, at uint64, speculative, delayed bool) {
 	c.Probe.OnLoadBroadcast(BroadcastEvent{
 		Cycle:       at,
-		Seq:         u.seq,
-		PC:          u.pc,
+		Seq:         c.a.seq[u],
+		PC:          c.a.body[u].pc,
 		Speculative: speculative,
 		Delayed:     delayed,
 	})
@@ -165,14 +166,15 @@ func (c *Core) probeBroadcast(u *uop, at uint64, speculative, delayed bool) {
 // mark the uop non-speculative before re-accessing, so a speculative
 // exposure is a genuine invariant violation the oracle can catch, not
 // an artifact the probe paper over.
-func (c *Core) probeCacheAccess(u *uop, at uint64, kind CacheAccessKind, hitL1 bool) {
+func (c *Core) probeCacheAccess(u int32, at uint64, kind CacheAccessKind, hitL1 bool) {
+	b := &c.a.body[u]
 	c.Probe.OnCacheAccess(CacheAccessEvent{
 		Cycle:       at,
-		Seq:         u.seq,
-		PC:          u.pc,
-		Addr:        u.addr,
+		Seq:         c.a.seq[u],
+		PC:          b.pc,
+		Addr:        b.addr,
 		Kind:        kind,
-		Speculative: !u.nonSpec,
+		Speculative: !b.nonSpec,
 		HitL1:       hitL1,
 		MSHR:        kind != CacheAccessInvisible && !hitL1,
 	})

@@ -9,21 +9,23 @@ const neverReady = ^uint64(0)
 // physRegFile is the physical register file plus its free list and the
 // ready/wakeup scoreboard.
 type physRegFile struct {
+	a       *uopArena
 	value   []uint64
 	readyAt []uint64 // first cycle a consumer may issue using the value
 	free    []int    // LIFO free list
 
-	// waiters holds, per register, the issue-queue uops whose cached
-	// operand-readiness is pending this register's announcement — the
-	// scoreboard's wakeup port.
-	waiters [][]*uop
+	// waiters holds, per register, handles to the issue-queue uops whose
+	// cached operand-readiness is pending this register's announcement —
+	// the scoreboard's wakeup port.
+	waiters [][]uopRef
 }
 
-func newPhysRegFile(n int) *physRegFile {
+func newPhysRegFile(n int, a *uopArena) *physRegFile {
 	p := &physRegFile{
+		a:       a,
 		value:   make([]uint64, n),
 		readyAt: make([]uint64, n),
-		waiters: make([][]*uop, n),
+		waiters: make([][]uopRef, n),
 	}
 	// Physical registers 0..31 initially back the architectural registers
 	// and are ready with value zero; the rest are free.
@@ -63,9 +65,10 @@ func (p *physRegFile) readyBy(r int, now uint64) bool {
 	return r == noReg || p.readyAt[r] <= now
 }
 
-// watch registers u as a waiter on r's readiness announcement.
-func (p *physRegFile) watch(r int, u *uop) {
-	p.waiters[r] = append(p.waiters[r], u)
+// watch registers the uop handle as a waiter on r's readiness
+// announcement.
+func (p *physRegFile) watch(r int, ref uopRef) {
+	p.waiters[r] = append(p.waiters[r], ref)
 }
 
 // announce publishes the cycle at which register r's value may feed a
@@ -73,23 +76,27 @@ func (p *physRegFile) watch(r int, u *uop) {
 // readyAt is written exactly once between alloc and release — every
 // producer path (issue-time wakeup, writeback broadcast, NDA's delayed
 // broadcast) announces exactly once — so a waiter list drains exactly
-// once per allocation. Squashed waiters may linger in a list; the update
-// to them is harmless because squashed uops never return to the rename
-// pool while referenced.
+// once per allocation. Squashed waiters may linger in a list as stale
+// handles; the generation check skips them, which matters because their
+// slot may already host an unrelated live instruction.
 func (p *physRegFile) announce(r int, at uint64) {
 	p.readyAt[r] = at
 	ws := p.waiters[r]
 	if len(ws) == 0 {
 		return
 	}
-	for i, u := range ws {
-		if u.ps1 == r {
-			u.src1ReadyAt = at
+	a := p.a
+	for _, ref := range ws {
+		if a.gen[ref.idx] != ref.gen {
+			continue // waiter squashed; slot may be reused
 		}
-		if u.ps2 == r {
-			u.src2ReadyAt = at
+		b := &a.body[ref.idx]
+		if b.ps1 == r {
+			a.src1ReadyAt[ref.idx] = at
 		}
-		ws[i] = nil
+		if b.ps2 == r {
+			a.src2ReadyAt[ref.idx] = at
+		}
 	}
 	p.waiters[r] = ws[:0]
 }
@@ -98,11 +105,7 @@ func (p *physRegFile) announce(r int, at uint64) {
 // issue queue is gone).
 func (p *physRegFile) clearWaiters() {
 	for r := range p.waiters {
-		ws := p.waiters[r]
-		for i := range ws {
-			ws[i] = nil
-		}
-		p.waiters[r] = ws[:0]
+		p.waiters[r] = p.waiters[r][:0]
 	}
 }
 

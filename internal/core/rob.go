@@ -1,15 +1,19 @@
 package core
 
 // rob is the reorder buffer: a ring of in-flight uops in program order.
+// Entries are raw arena indices, always live: a uop leaves the ROB at the
+// same moment it dies (commit pop or squash truncation), so no generation
+// check is needed on reads.
 type rob struct {
-	entries []*uop
+	a       *uopArena
+	entries []int32
 	head    int // oldest
 	tail    int // next free slot
 	count   int
 }
 
-func newROB(size int) *rob {
-	return &rob{entries: make([]*uop, size)}
+func newROB(size int, a *uopArena) *rob {
+	return &rob{a: a, entries: make([]int32, size)}
 }
 
 func (r *rob) full() bool  { return r.count == len(r.entries) }
@@ -17,37 +21,36 @@ func (r *rob) empty() bool { return r.count == 0 }
 func (r *rob) len() int    { return r.count }
 
 // push appends a uop at the tail; the caller must check full() first.
-func (r *rob) push(u *uop) {
+func (r *rob) push(i int32) {
 	if r.full() {
 		panic("core: ROB overflow")
 	}
-	r.entries[r.tail] = u
+	r.entries[r.tail] = i
 	r.tail = (r.tail + 1) % len(r.entries)
 	r.count++
 }
 
-// peek returns the oldest uop without removing it.
-func (r *rob) peek() *uop {
+// peek returns the oldest uop's slot without removing it.
+func (r *rob) peek() (int32, bool) {
 	if r.empty() {
-		return nil
+		return 0, false
 	}
-	return r.entries[r.head]
+	return r.entries[r.head], true
 }
 
-// pop removes and returns the oldest uop.
-func (r *rob) pop() *uop {
-	u := r.peek()
-	if u == nil {
+// pop removes and returns the oldest uop's slot.
+func (r *rob) pop() int32 {
+	i, ok := r.peek()
+	if !ok {
 		panic("core: ROB underflow")
 	}
-	r.entries[r.head] = nil
 	r.head = (r.head + 1) % len(r.entries)
 	r.count--
-	return u
+	return i
 }
 
 // forEach visits uops oldest-first; returning false stops the walk.
-func (r *rob) forEach(f func(u *uop) bool) {
+func (r *rob) forEach(f func(i int32) bool) {
 	i := r.head
 	for n := 0; n < r.count; n++ {
 		if !f(r.entries[i]) {
@@ -67,7 +70,7 @@ func (r *rob) forEach(f func(u *uop) bool) {
 // it). Note that ROB sequence numbers are NOT contiguous across a branch
 // squash — squashed uops consumed sequence numbers and the refetched path
 // gets fresh ones — which is why the cursor is a position, not a seq.
-func (r *rob) forEachFrom(off int, f func(u *uop) bool) int {
+func (r *rob) forEachFrom(off int, f func(i int32) bool) int {
 	if off < 0 {
 		off = 0
 	}
@@ -83,16 +86,15 @@ func (r *rob) forEachFrom(off int, f func(u *uop) bool) int {
 
 // squashYoungerThan removes all uops with seq > limit, youngest-first,
 // invoking reclaim on each before removal. It returns the number squashed.
-func (r *rob) squashYoungerThan(limit uint64, reclaim func(u *uop)) int {
+func (r *rob) squashYoungerThan(limit uint64, reclaim func(i int32)) int {
 	n := 0
 	for r.count > 0 {
 		lastIdx := (r.tail - 1 + len(r.entries)) % len(r.entries)
-		u := r.entries[lastIdx]
-		if u.seq <= limit {
+		i := r.entries[lastIdx]
+		if r.a.seq[i] <= limit {
 			break
 		}
-		reclaim(u)
-		r.entries[lastIdx] = nil
+		reclaim(i)
 		r.tail = lastIdx
 		r.count--
 		n++

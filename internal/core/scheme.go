@@ -27,13 +27,15 @@ const (
 )
 
 // scheme is the hook interface the pipeline calls at the points the paper's
-// microarchitectures modify. The baseline is the empty implementation.
+// microarchitectures modify. Uops are identified by their arena slot index
+// (always live at hook time); schemes reach their fields through the
+// core's arena. The baseline is the empty implementation.
 type scheme interface {
 	kind() SchemeKind
 
 	// renameOne is called for every uop in rename (program) order. The
 	// STT-Rename taint chain lives here.
-	renameOne(u *uop)
+	renameOne(u int32)
 	// allocPhys is called when a physical destination register is
 	// allocated (STT-Issue clears the register's taint).
 	allocPhys(pd int)
@@ -49,11 +51,11 @@ type scheme interface {
 	// the uop is not eligible this cycle and consumes no issue slot
 	// (STT-Rename knows taints at rename; blocked transmitters are never
 	// selected).
-	canSelect(u *uop, part issuePart) bool
+	canSelect(u int32, part issuePart) bool
 	// onIssue is the at-issue taint unit. A false return converts the
 	// already-consumed issue slot into a nop (STT-Issue, Section 4.3) and
 	// back-propagates the blocking YRoT into the issue-queue entry.
-	onIssue(u *uop, part issuePart) bool
+	onIssue(u int32, part issuePart) bool
 
 	// delaysLoadBroadcast reports whether completed speculative loads must
 	// withhold their ready broadcast until non-speculative (NDA).
@@ -86,15 +88,15 @@ func init() {
 	})
 }
 
-func (baseline) kind() SchemeKind               { return KindBaseline }
-func (baseline) renameOne(*uop)                 {}
-func (baseline) allocPhys(int)                  {}
-func (baseline) saveCheckpoint(int)             {}
-func (baseline) restoreCheckpoint(int)          {}
-func (baseline) fullFlush()                     {}
-func (baseline) canSelect(*uop, issuePart) bool { return true }
-func (baseline) onIssue(*uop, issuePart) bool   { return true }
-func (baseline) delaysLoadBroadcast() bool      { return false }
-func (baseline) specWakeup(base bool) bool      { return base }
-func (baseline) delaysSpecMiss() bool           { return false }
-func (baseline) invisibleSpecLoads() bool       { return false }
+func (baseline) kind() SchemeKind                { return KindBaseline }
+func (baseline) renameOne(int32)                 {}
+func (baseline) allocPhys(int)                   {}
+func (baseline) saveCheckpoint(int)              {}
+func (baseline) restoreCheckpoint(int)           {}
+func (baseline) fullFlush()                      {}
+func (baseline) canSelect(int32, issuePart) bool { return true }
+func (baseline) onIssue(int32, issuePart) bool   { return true }
+func (baseline) delaysLoadBroadcast() bool       { return false }
+func (baseline) specWakeup(base bool) bool       { return base }
+func (baseline) delaysSpecMiss() bool            { return false }
+func (baseline) invisibleSpecLoads() bool        { return false }

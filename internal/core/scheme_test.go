@@ -21,21 +21,21 @@ func mkCore(t *testing.T, kind SchemeKind) *Core {
 func TestSTTRenameSameCycleChain(t *testing.T) {
 	c := mkCore(t, KindSTTRename)
 	s := c.sch.(*sttRename)
+	a := c.a
 	c.cycle = 10
 
-	ld := &uop{seq: 100, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}}
-	alu := &uop{seq: 101, inst: isa.Inst{Op: isa.Add, Rd: isa.X6, Rs1: isa.X5, Rs2: isa.X2}}
-	alu2 := &uop{seq: 102, inst: isa.Inst{Op: isa.Xor, Rd: isa.X7, Rs1: isa.X6, Rs2: isa.X6}}
-	br := &uop{seq: 103, inst: isa.Inst{Op: isa.Beq, Rs1: isa.X7, Rs2: isa.X0}}
-	for _, u := range []*uop{ld, alu, alu2, br} {
-		u.yrot, u.blockedYRoT = noYRoT, noYRoT
+	ld := mkUop(a, 100, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, yrot: noYRoT, blockedYRoT: noYRoT})
+	alu := mkUop(a, 101, uop{inst: isa.Inst{Op: isa.Add, Rd: isa.X6, Rs1: isa.X5, Rs2: isa.X2}, yrot: noYRoT, blockedYRoT: noYRoT})
+	alu2 := mkUop(a, 102, uop{inst: isa.Inst{Op: isa.Xor, Rd: isa.X7, Rs1: isa.X6, Rs2: isa.X6}, yrot: noYRoT, blockedYRoT: noYRoT})
+	br := mkUop(a, 103, uop{inst: isa.Inst{Op: isa.Beq, Rs1: isa.X7, Rs2: isa.X0}, yrot: noYRoT, blockedYRoT: noYRoT})
+	for _, u := range []int32{ld, alu, alu2, br} {
 		s.renameOne(u)
 	}
-	if ld.yrot != noYRoT {
-		t.Errorf("load sources untainted, yrot = %d", ld.yrot)
+	if a.body[ld].yrot != noYRoT {
+		t.Errorf("load sources untainted, yrot = %d", a.body[ld].yrot)
 	}
-	if alu.yrot != 100 || alu2.yrot != 100 || br.yrot != 100 {
-		t.Errorf("chain yrots = %d,%d,%d, want 100 each", alu.yrot, alu2.yrot, br.yrot)
+	if a.body[alu].yrot != 100 || a.body[alu2].yrot != 100 || a.body[br].yrot != 100 {
+		t.Errorf("chain yrots = %d,%d,%d, want 100 each", a.body[alu].yrot, a.body[alu2].yrot, a.body[br].yrot)
 	}
 	if c.Stats.MaxRenameChain < 3 {
 		t.Errorf("max same-cycle chain = %d, want >= 3", c.Stats.MaxRenameChain)
@@ -62,11 +62,11 @@ func TestSTTRenameSameCycleChain(t *testing.T) {
 func TestSTTRenameCheckpointRestore(t *testing.T) {
 	c := mkCore(t, KindSTTRename)
 	s := c.sch.(*sttRename)
-	ld := &uop{seq: 10, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}}
+	ld := mkUop(c.a, 10, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, yrot: noYRoT})
 	s.renameOne(ld)
 	s.saveCheckpoint(3)
 	// Younger wrong-path load overwrites the taint.
-	ld2 := &uop{seq: 20, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}}
+	ld2 := mkUop(c.a, 20, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, yrot: noYRoT})
 	s.renameOne(ld2)
 	if s.taint[isa.X5] != 20 {
 		t.Fatalf("taint = %d, want 20", s.taint[isa.X5])
@@ -86,10 +86,10 @@ func TestSTTRenameCheckpointRestore(t *testing.T) {
 func TestSTTRenameUnifiedStoreTaint(t *testing.T) {
 	c := mkCore(t, KindSTTRename)
 	s := c.sch.(*sttRename)
-	ld := &uop{seq: 5, inst: isa.Inst{Op: isa.Ld, Rd: isa.X6, Rs1: isa.X1}}
+	ld := mkUop(c.a, 5, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X6, Rs1: isa.X1}, yrot: noYRoT})
 	s.renameOne(ld)
 	// sd x6, 0(x2): address operand (x2) clean, data operand (x6) tainted.
-	st := &uop{seq: 6, inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}}
+	st := mkUop(c.a, 6, uop{inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, yrot: noYRoT})
 	s.renameOne(st)
 	c.prevSafeSeq = 0
 	if s.canSelect(st, partStoreAddr) {
@@ -103,8 +103,9 @@ func TestSTTRenameUnifiedStoreTaint(t *testing.T) {
 	c2 := mkCore(t, KindSTTRename)
 	c2.cfg.SplitStoreTaints = true
 	s2 := c2.sch.(*sttRename)
-	s2.renameOne(ld)
-	st2 := &uop{seq: 6, inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}}
+	ld2 := mkUop(c2.a, 5, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X6, Rs1: isa.X1}, yrot: noYRoT})
+	s2.renameOne(ld2)
+	st2 := mkUop(c2.a, 6, uop{inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, yrot: noYRoT})
 	s2.renameOne(st2)
 	c2.prevSafeSeq = 0
 	if !s2.canSelect(st2, partStoreAddr) {
@@ -118,10 +119,11 @@ func TestSTTRenameUnifiedStoreTaint(t *testing.T) {
 func TestSTTIssueTaintUnit(t *testing.T) {
 	c := mkCore(t, KindSTTIssue)
 	s := c.sch.(*sttIssue)
+	a := c.a
 	c.curSafeSeq = 0
 
 	// A load writing p40 taints it with its own seq.
-	ld := &uop{seq: 50, pc: 1, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, pd: 40, ps1: 3, blockedYRoT: noYRoT}
+	ld := mkUop(a, 50, uop{pc: 1, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, pd: 40, ps1: 3, ps2: noReg, blockedYRoT: noYRoT})
 	if !s.onIssue(ld, partWhole) {
 		t.Fatal("untainted load must issue")
 	}
@@ -129,7 +131,7 @@ func TestSTTIssueTaintUnit(t *testing.T) {
 		t.Fatalf("load dest taint = %d, want 50", s.taint[40])
 	}
 	// An ALU op reading p40 propagates to its dest p41 and is not blocked.
-	alu := &uop{seq: 51, inst: isa.Inst{Op: isa.Add, Rd: isa.X6, Rs1: isa.X5, Rs2: isa.X2}, pd: 41, ps1: 40, ps2: 4, blockedYRoT: noYRoT}
+	alu := mkUop(a, 51, uop{inst: isa.Inst{Op: isa.Add, Rd: isa.X6, Rs1: isa.X5, Rs2: isa.X2}, pd: 41, ps1: 40, ps2: 4, blockedYRoT: noYRoT})
 	if !s.onIssue(alu, partWhole) {
 		t.Fatal("non-transmitter must issue tainted")
 	}
@@ -137,12 +139,12 @@ func TestSTTIssueTaintUnit(t *testing.T) {
 		t.Fatalf("propagated taint = %d, want 50", s.taint[41])
 	}
 	// A dependent load (transmitter) is nop-ed and back-propagates.
-	dep := &uop{seq: 52, inst: isa.Inst{Op: isa.Ld, Rd: isa.X7, Rs1: isa.X6}, pd: 42, ps1: 41, ps2: noReg, blockedYRoT: noYRoT}
+	dep := mkUop(a, 52, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X7, Rs1: isa.X6}, pd: 42, ps1: 41, ps2: noReg, blockedYRoT: noYRoT})
 	if s.onIssue(dep, partWhole) {
 		t.Fatal("tainted transmitter must be nop-ed")
 	}
-	if dep.blockedYRoT != 50 || c.Stats.TaintNopSlots != 1 {
-		t.Errorf("blockedYRoT = %d (nops %d), want 50 (1)", dep.blockedYRoT, c.Stats.TaintNopSlots)
+	if a.body[dep].blockedYRoT != 50 || c.Stats.TaintNopSlots != 1 {
+		t.Errorf("blockedYRoT = %d (nops %d), want 50 (1)", a.body[dep].blockedYRoT, c.Stats.TaintNopSlots)
 	}
 	if s.canSelect(dep, partWhole) {
 		t.Error("masked entry selectable while YRoT unsafe")
@@ -165,7 +167,7 @@ func TestSTTIssueStoreHalves(t *testing.T) {
 	s := c.sch.(*sttIssue)
 	c.curSafeSeq = 0
 	s.taint[30] = 77 // data operand tainted
-	st := &uop{seq: 80, inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, pd: noReg, ps1: 4, ps2: 30, blockedYRoT: noYRoT}
+	st := mkUop(c.a, 80, uop{inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, pd: noReg, ps1: 4, ps2: 30, blockedYRoT: noYRoT})
 	if !s.onIssue(st, partStoreAddr) {
 		t.Error("address half with a clean address operand must issue")
 	}
@@ -173,65 +175,70 @@ func TestSTTIssueStoreHalves(t *testing.T) {
 		t.Error("data half must never be vetoed")
 	}
 	s.taint[4] = 99 // now the address operand is tainted
-	st2 := &uop{seq: 81, inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, pd: noReg, ps1: 4, ps2: 30, blockedYRoT: noYRoT}
+	st2 := mkUop(c.a, 81, uop{inst: isa.Inst{Op: isa.Sd, Rs1: isa.X2, Rs2: isa.X6}, pd: noReg, ps1: 4, ps2: 30, blockedYRoT: noYRoT})
 	if s.onIssue(st2, partStoreAddr) {
 		t.Error("address half with a tainted address operand must be vetoed")
 	}
 }
 
 func TestLSUForwardingSearch(t *testing.T) {
-	l := newLSU()
-	st := &uop{seq: 1, inst: isa.Inst{Op: isa.Sd}, addr: 0x100, addrReady: true, dataReady: true, result: 42}
+	a := newUopArena()
+	l := newLSU(a)
+	st := mkUop(a, 1, uop{inst: isa.Inst{Op: isa.Sd}, addr: 0x100, addrReady: true, dataReady: true, result: 42})
 	l.addStore(st)
-	ld := &uop{seq: 2, inst: isa.Inst{Op: isa.Ld}, addr: 0x100}
+	ld := mkUop(a, 2, uop{inst: isa.Inst{Op: isa.Ld}, addr: 0x100})
 	l.addLoad(ld)
 	res, val, from, unknown := l.search(ld)
 	if res != fwdHit || val != 42 || from != 1 || unknown {
 		t.Errorf("search = (%v,%d,%d,%v), want hit/42/1/false", res, val, from, unknown)
 	}
 	// Data not ready: wait.
-	st.dataReady = false
+	a.body[st].dataReady = false
 	if res, _, _, _ := l.search(ld); res != fwdWait {
 		t.Errorf("search = %v, want fwdWait", res)
 	}
 	// Address unknown: speculate with the unknown flag.
-	st.addrReady = false
+	a.body[st].addrReady = false
 	res, _, _, unknown = l.search(ld)
 	if res != fwdNone || !unknown {
 		t.Errorf("search = (%v, unknown=%v), want fwdNone with unknown", res, unknown)
 	}
 	// Different word: no match.
-	st.addrReady, st.dataReady, st.addr = true, true, 0x108
+	a.body[st].addrReady, a.body[st].dataReady, a.body[st].addr = true, true, 0x108
 	if res, _, _, _ := l.search(ld); res != fwdNone {
 		t.Errorf("search = %v, want fwdNone on different word", res)
 	}
 }
 
 func TestLSUViolationDetection(t *testing.T) {
-	l := newLSU()
-	st := &uop{seq: 1, inst: isa.Inst{Op: isa.Sd}, addr: 0x200}
+	a := newUopArena()
+	l := newLSU(a)
+	st := mkUop(a, 1, uop{inst: isa.Inst{Op: isa.Sd}, addr: 0x200})
 	l.addStore(st)
 	// A younger load that executed against the same word without
 	// forwarding from the store.
-	ld := &uop{seq: 2, inst: isa.Inst{Op: isa.Ld}, addr: 0x200, state: stateDone, fwdFromSeq: -1}
+	ld := mkUop(a, 2, uop{inst: isa.Inst{Op: isa.Ld}, addr: 0x200, fwdFromSeq: -1})
+	a.state[ld] = stateDone
 	l.addLoad(ld)
 	// A younger load to a different word: untouched.
-	other := &uop{seq: 3, inst: isa.Inst{Op: isa.Ld}, addr: 0x300, state: stateDone, fwdFromSeq: -1}
+	other := mkUop(a, 3, uop{inst: isa.Inst{Op: isa.Ld}, addr: 0x300, fwdFromSeq: -1})
+	a.state[other] = stateDone
 	l.addLoad(other)
-	st.addrReady = true
+	a.body[st].addrReady = true
 	if n := l.checkViolations(st); n != 1 {
 		t.Fatalf("violations = %d, want 1", n)
 	}
-	if !ld.orderViolation || other.orderViolation {
+	if !a.body[ld].orderViolation || a.body[other].orderViolation {
 		t.Error("violation flags wrong")
 	}
 	// A load that forwarded from this store is safe.
-	fwd := &uop{seq: 4, inst: isa.Inst{Op: isa.Ld}, addr: 0x200, state: stateDone, fwdFromSeq: 1}
+	fwd := mkUop(a, 4, uop{inst: isa.Inst{Op: isa.Ld}, addr: 0x200, fwdFromSeq: 1})
+	a.state[fwd] = stateDone
 	l.addLoad(fwd)
 	if n := l.checkViolations(st); n != 0 {
 		t.Errorf("re-check found %d new violations, want 0", n)
 	}
-	if fwd.orderViolation {
+	if a.body[fwd].orderViolation {
 		t.Error("forwarded load must not be flagged")
 	}
 }
@@ -291,17 +298,17 @@ func TestFrontendRedirectAndRAS(t *testing.T) {
 
 func TestNDADelaysOnlySpeculativeLoads(t *testing.T) {
 	c := mkCore(t, KindNDA)
-	ld := &uop{seq: 1, inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, pd: 40}
+	a := c.a
+	ld := mkUop(a, 1, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X5, Rs1: isa.X1}, pd: 40})
 	c.cycle = 100
 	// Speculative at completion: broadcast withheld.
-	ld.nonSpec = false
 	c.loadBroadcast(ld)
-	if !ld.broadcastPending || c.prf.readyAt[40] != neverReady {
+	if !a.body[ld].broadcastPending || c.prf.readyAt[40] != neverReady {
 		t.Error("speculative load's broadcast must be withheld")
 	}
 	// Non-speculative at completion: broadcast follows writeback (+1, no
 	// speculative wakeup under NDA).
-	ld2 := &uop{seq: 2, inst: isa.Inst{Op: isa.Ld, Rd: isa.X6, Rs1: isa.X1}, pd: 41, nonSpec: true}
+	ld2 := mkUop(a, 2, uop{inst: isa.Inst{Op: isa.Ld, Rd: isa.X6, Rs1: isa.X1}, pd: 41, nonSpec: true})
 	c.loadBroadcast(ld2)
 	if c.prf.readyAt[41] != 101 {
 		t.Errorf("readyAt = %d, want 101", c.prf.readyAt[41])

@@ -45,7 +45,7 @@ func newSTTIssue(c *Core) *sttIssue {
 
 func (s *sttIssue) kind() SchemeKind { return KindSTTIssue }
 
-func (s *sttIssue) renameOne(*uop) {}
+func (s *sttIssue) renameOne(int32) {}
 
 // allocPhys clears the taint of a freshly allocated register. This is why
 // STT-Issue needs no checkpoints: a stale taint can only be observed
@@ -78,45 +78,48 @@ func (s *sttIssue) sourceTaint(ps int) int64 {
 // canSelect masks an entry whose back-propagated YRoT is still unsafe
 // (step 5 in Figure 4): after a nop-issue, the entry is not re-selected
 // until the YRoT broadcast declares it safe.
-func (s *sttIssue) canSelect(u *uop, part issuePart) bool {
+func (s *sttIssue) canSelect(u int32, part issuePart) bool {
 	if part == partStoreData {
 		return true
 	}
-	return u.blockedYRoT == noYRoT || u.blockedYRoT <= s.c.curSafeSeq
+	b := &s.c.a.body[u]
+	return b.blockedYRoT == noYRoT || b.blockedYRoT <= s.c.curSafeSeq
 }
 
 // onIssue is the taint unit (step 2 in Figure 4): compute the YRoT from
 // the operands' taints, bar tainted transmitters (wasting the slot), and
 // propagate the taint to the destination register.
-func (s *sttIssue) onIssue(u *uop, part issuePart) bool {
+func (s *sttIssue) onIssue(u int32, part issuePart) bool {
+	a := s.c.a
+	b := &a.body[u]
 	var y int64
 	switch part {
 	case partStoreAddr:
 		// Only the address operand transmits; an untainted address can
 		// issue even while the data operand is tainted (Section 9.2).
-		y = s.sourceTaint(u.ps1)
+		y = s.sourceTaint(b.ps1)
 	case partStoreData:
 		return true
 	default:
-		y = s.sourceTaint(u.ps1)
-		if t2 := s.sourceTaint(u.ps2); t2 > y {
+		y = s.sourceTaint(b.ps1)
+		if t2 := s.sourceTaint(b.ps2); t2 > y {
 			y = t2
 		}
 	}
-	if y != noYRoT && transmitterPart(u, part) {
+	if y != noYRoT && a.transmitterPart(u, part) {
 		// Tainted transmitter: issue a nop instead and back-propagate the
 		// YRoT to the issue-queue entry (steps 4 and 5 in Figure 4).
-		u.blockedYRoT = y
-		u.wasNopped = true
+		b.blockedYRoT = y
+		b.wasNopped = true
 		s.c.Stats.TaintNopSlots++
 		return false
 	}
-	u.blockedYRoT = noYRoT
-	if u.pd != noReg {
-		if u.isLoad() {
-			s.taint[u.pd] = int64(u.seq)
+	b.blockedYRoT = noYRoT
+	if b.pd != noReg {
+		if a.isLoad(u) {
+			s.taint[b.pd] = int64(a.seq[u])
 		} else {
-			s.taint[u.pd] = y
+			s.taint[b.pd] = y
 		}
 	}
 	return true
@@ -131,15 +134,16 @@ func (s *sttIssue) invisibleSpecLoads() bool  { return false }
 // operand-taint computation onIssue's taint unit performs, against the
 // current cycle's frontier. Safe to query after onIssue — only the
 // destination's taint is written there, never a source's.
-func (s *sttIssue) taintedPart(u *uop, part issuePart) bool {
+func (s *sttIssue) taintedPart(u int32, part issuePart) bool {
+	b := &s.c.a.body[u]
 	switch part {
 	case partStoreData:
 		return false
 	case partStoreAddr:
-		return s.sourceTaint(u.ps1) != noYRoT
+		return s.sourceTaint(b.ps1) != noYRoT
 	}
-	if s.sourceTaint(u.ps1) != noYRoT {
+	if s.sourceTaint(b.ps1) != noYRoT {
 		return true
 	}
-	return s.sourceTaint(u.ps2) != noYRoT
+	return s.sourceTaint(b.ps2) != noYRoT
 }

@@ -65,14 +65,16 @@ func (s *sttRename) sourceTaint(r isa.Reg) (int64, int) {
 	return t, depth
 }
 
-func (s *sttRename) renameOne(u *uop) {
+func (s *sttRename) renameOne(u int32) {
+	a := s.c.a
+	b := &a.body[u]
 	var t1, t2 int64 = noYRoT, noYRoT
 	var d1, d2 int
-	if u.inst.ReadsRs1() {
-		t1, d1 = s.sourceTaint(u.inst.Rs1)
+	if b.inst.ReadsRs1() {
+		t1, d1 = s.sourceTaint(b.inst.Rs1)
 	}
-	if u.inst.ReadsRs2() {
-		t2, d2 = s.sourceTaint(u.inst.Rs2)
+	if b.inst.ReadsRs2() {
+		t2, d2 = s.sourceTaint(b.inst.Rs2)
 	}
 	yrot := t1
 	if t2 > yrot {
@@ -82,10 +84,10 @@ func (s *sttRename) renameOne(u *uop) {
 	if d2 > depth {
 		depth = d2
 	}
-	u.yrot = yrot
-	if s.c.cfg.SplitStoreTaints && u.isStore() {
-		u.yrotAddr = t1
-		u.yrotData = t2
+	b.yrot = yrot
+	if s.c.cfg.SplitStoreTaints && a.isStore(u) {
+		b.yrotAddr = t1
+		b.yrotData = t2
 	}
 	if yrot != noYRoT {
 		s.c.Stats.TaintedRenames++
@@ -95,11 +97,11 @@ func (s *sttRename) renameOne(u *uop) {
 		}
 		s.c.Stats.RenameChainSum += uint64(depth)
 	}
-	if u.inst.HasDest() {
-		rd := u.inst.Rd
-		if u.isLoad() {
+	if b.inst.HasDest() {
+		rd := b.inst.Rd
+		if a.isLoad(u) {
 			// A load's destination is rooted at the load itself.
-			s.taint[rd] = int64(u.seq)
+			s.taint[rd] = int64(a.seq[u])
 		} else {
 			s.taint[rd] = yrot
 		}
@@ -120,20 +122,21 @@ func (s *sttRename) fullFlush() {
 }
 
 // partYRoT returns the YRoT governing the given part of u.
-func (s *sttRename) partYRoT(u *uop, part issuePart) int64 {
-	if s.c.cfg.SplitStoreTaints && u.isStore() {
+func (s *sttRename) partYRoT(u int32, part issuePart) int64 {
+	b := &s.c.a.body[u]
+	if s.c.cfg.SplitStoreTaints && s.c.a.isStore(u) {
 		switch part {
 		case partStoreAddr:
-			return u.yrotAddr
+			return b.yrotAddr
 		case partStoreData:
-			return u.yrotData
+			return b.yrotData
 		}
 	}
-	return u.yrot
+	return b.yrot
 }
 
-func (s *sttRename) canSelect(u *uop, part issuePart) bool {
-	if !transmitterPart(u, part) {
+func (s *sttRename) canSelect(u int32, part issuePart) bool {
+	if !s.c.a.transmitterPart(u, part) {
 		return true
 	}
 	y := s.partYRoT(u, part)
@@ -144,12 +147,12 @@ func (s *sttRename) canSelect(u *uop, part issuePart) bool {
 	return false
 }
 
-func (s *sttRename) onIssue(*uop, issuePart) bool { return true }
+func (s *sttRename) onIssue(int32, issuePart) bool { return true }
 
 // taintedPart is the probe's read-only taint view (see probe.go): whether
 // the part's governing YRoT is still beyond the frontier rename-stage
 // state can see — exactly the condition canSelect blocks transmitters on.
-func (s *sttRename) taintedPart(u *uop, part issuePart) bool {
+func (s *sttRename) taintedPart(u int32, part issuePart) bool {
 	y := s.partYRoT(u, part)
 	return y != noYRoT && y > s.c.prevSafeSeq
 }
@@ -158,14 +161,3 @@ func (s *sttRename) delaysLoadBroadcast() bool { return false }
 func (s *sttRename) specWakeup(base bool) bool { return base }
 func (s *sttRename) delaysSpecMiss() bool      { return false }
 func (s *sttRename) invisibleSpecLoads() bool  { return false }
-
-// transmitterPart reports whether issuing the given part of u has an
-// observable, operand-dependent effect. Store address generation transmits
-// (it becomes visible to store-to-load forwarding); store data movement
-// does not — stores only write the cache at non-speculative commit.
-func transmitterPart(u *uop, part issuePart) bool {
-	if u.isStore() {
-		return part == partStoreAddr
-	}
-	return u.isTransmitter()
-}

@@ -1,0 +1,16 @@
+package core
+
+import "repro/internal/isa"
+
+// mkUop allocates an arena slot for a hand-built uop in unit tests. The
+// cold body is copied wholesale; seq and the decoded class land in the hot
+// slices, exactly as rename would place them. The slot starts in
+// stateWaiting; tests that need a different lifecycle state set
+// a.state[u] directly.
+func mkUop(a *uopArena, seq uint64, b uop) int32 {
+	u := a.alloc()
+	a.body[u] = b
+	a.seq[u] = seq
+	a.cls[u] = isa.ClassOf(b.inst.Op)
+	return u
+}

@@ -9,7 +9,7 @@ const (
 	stateWaiting   uopState = iota // in the issue queue
 	stateExecuting                 // issued, in a functional unit or the LSU
 	stateDone                      // result written back, awaiting commit
-	stateSquashed                  // killed; awaiting ROB cleanup
+	stateSquashed                  // killed; slot released, refs go stale
 )
 
 // noReg marks an absent physical register operand.
@@ -26,19 +26,17 @@ const noYRoT int64 = -1
 // design.
 const neverRetry = ^uint64(0)
 
-// uop is one in-flight micro-op. Stores are a single micro-op whose address
-// and data halves can issue independently (BOOM-style partial issue,
-// Section 9.2 of the paper).
+// uop is the cold (array-of-structs) portion of one in-flight micro-op:
+// the fields touched on the instruction's own pipeline events rather than
+// by the per-cycle scans. The hot fields — state, cls, seq, the issue
+// scoreboard's src1ReadyAt/src2ReadyAt, retryAt, and doneAt — live in the
+// arena's struct-of-arrays slices (see arena.go) under the same slot
+// index. Stores are a single micro-op whose address and data halves can
+// issue independently (BOOM-style partial issue, Section 9.2 of the
+// paper).
 type uop struct {
-	seq  uint64 // global age; assigned at rename
 	pc   uint64
 	inst isa.Inst
-	// cls memoizes inst.Op's class, biased by +1 so the zero value means
-	// "not yet decoded": rename pre-decodes, hand-built uops (tests)
-	// decode on first use. The issue and writeback loops consult the
-	// class several times per uop per cycle, so the ClassOf switch is too
-	// hot to re-run there.
-	cls isa.Class
 
 	// Rename state.
 	pd      int // physical destination, noReg if none
@@ -47,8 +45,6 @@ type uop struct {
 	ps2     int
 	ckpt    int // checkpoint id for branches/jalr, -1 otherwise
 
-	state uopState
-
 	// Prediction state (control instructions).
 	predTaken  bool
 	predTarget uint64
@@ -56,12 +52,10 @@ type uop struct {
 	rasTop     int    // RAS top at prediction time
 
 	// Execution results.
-	taken   bool
-	target  uint64 // next PC (control); pc+1 otherwise
-	result  uint64
-	doneAt  uint64 // cycle the result is (or will be) available
-	hitL1   bool   // loads: L1 hit
-	retryAt uint64 // LSU retry backoff (MSHR full / forwarding wait)
+	taken  bool
+	target uint64 // next PC (control); pc+1 otherwise
+	result uint64
+	hitL1  bool // loads: L1 hit
 
 	addrDoneAt uint64 // stores: cycle the address half completes
 	dataDoneAt uint64 // stores: cycle the data half completes
@@ -84,19 +78,6 @@ type uop struct {
 
 	// Speculation state.
 	nonSpec bool // passed the visibility point (bound to commit)
-
-	// Issue-scoreboard state: each operand's readiness time, cached at
-	// rename and refreshed by the register file's wakeup announcement, so
-	// the issue scan compares integers instead of re-polling readyAt per
-	// operand per cycle. Zero (always ready) covers the noReg pseudo-
-	// source; neverReady marks a producer that has not yet announced.
-	src1ReadyAt uint64
-	src2ReadyAt uint64
-
-	// Pool lifecycle (see freeUop): a committed uop may still be
-	// referenced by a stale pending-broadcast queue entry.
-	inNonSpecQ bool // currently queued for the bounded broadcast
-	dead       bool // committed while still queued; recycle at the drain
 
 	// Delay-on-Miss state.
 	missDelayed bool // load parked as a speculative L1 miss (once per load)
@@ -123,46 +104,3 @@ type uop struct {
 	blockedYRoT int64 // STT-Issue: YRoT back-propagated into the IQ entry
 	wasNopped   bool  // STT-Issue: at least one issue slot was wasted
 }
-
-// class returns the uop's operation class (memoized; see cls).
-func (u *uop) class() isa.Class {
-	if u.cls == 0 {
-		u.cls = isa.ClassOf(u.inst.Op) + 1
-	}
-	return u.cls - 1
-}
-
-// isLoad reports whether the uop is a load.
-func (u *uop) isLoad() bool { return u.class() == isa.ClassLoad }
-
-// isStore reports whether the uop is a store.
-func (u *uop) isStore() bool { return u.class() == isa.ClassStore }
-
-// castsCShadow reports whether the uop casts a control shadow until it
-// executes: conditional branches and indirect jumps. Direct jumps (jal)
-// never mispredict in this machine.
-func (u *uop) castsCShadow() bool {
-	return u.class() == isa.ClassBranch || u.inst.Op == isa.Jalr
-}
-
-// castsDShadow reports whether the uop casts a data (memory aliasing)
-// shadow until its address is known.
-func (u *uop) castsDShadow() bool { return u.isStore() }
-
-// isTransmitter reports whether executing the uop has an observable,
-// operand-dependent effect (Section 3.1): loads and store address
-// generation (cache/STLF visibility), conditional branches and indirect
-// jumps (resolution timing), and divides (operand-dependent latency in
-// real dividers).
-func (u *uop) isTransmitter() bool {
-	switch u.class() {
-	case isa.ClassLoad, isa.ClassStore, isa.ClassBranch, isa.ClassDiv:
-		return true
-	case isa.ClassJump:
-		return u.inst.Op == isa.Jalr
-	}
-	return false
-}
-
-// completed reports whether the uop is finished and eligible to commit.
-func (u *uop) completed() bool { return u.state == stateDone }

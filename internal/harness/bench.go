@@ -33,6 +33,22 @@ type BenchReport struct {
 	SimCyclesPerSec float64 `json:"sim_cycles_per_sec"`
 	// Parallelism is the worker-pool size used (1 isolates core speed).
 	Parallelism int `json:"parallelism"`
+	// AllocsPerCycle, when present, is heap allocations per simulated
+	// cycle across the measurement — the cycle loop's allocation budget.
+	// Steady-state simulation allocates nothing, so the figure is
+	// dominated by per-cell setup (core construction, program build) and
+	// stays far below one; a hot-loop allocation source reappearing shows
+	// up as a multiple. Zero means the benchmark did not record it.
+	AllocsPerCycle float64 `json:"allocs_per_cycle,omitempty"`
+}
+
+// WithAllocs attaches the allocation metric: mallocs heap allocations
+// observed across the measurement, amortized over the simulated cycles.
+func (r BenchReport) WithAllocs(mallocs uint64) BenchReport {
+	if r.SimCycles > 0 {
+		r.AllocsPerCycle = float64(mallocs) / float64(r.SimCycles)
+	}
+	return r
 }
 
 // NewBenchReport assembles a report from raw counters. parallelism is
@@ -61,8 +77,12 @@ func NewBenchReport(label string, cells int, simCycles uint64, wall time.Duratio
 
 // String renders the report as a one-line human summary.
 func (r BenchReport) String() string {
-	return fmt.Sprintf("%s: %d cells, %d simulated cycles in %.2fs = %.0f simCycles/s (j=%d)",
+	s := fmt.Sprintf("%s: %d cells, %d simulated cycles in %.2fs = %.0f simCycles/s (j=%d)",
 		r.Label, r.Cells, r.SimCycles, r.WallSeconds, r.SimCyclesPerSec, r.Parallelism)
+	if r.AllocsPerCycle > 0 {
+		s += fmt.Sprintf(", %.4f allocs/simCycle", r.AllocsPerCycle)
+	}
+	return s
 }
 
 // BenchFile is the on-disk layout of BENCH_core.json: the individual runs
