@@ -42,7 +42,14 @@ func main() {
 	fuzzN := flag.Int("fuzz", 0, "run a differential fuzzing campaign of N generated programs (cross-checks every scheme against the architectural reference)")
 	fuzzSeed := flag.Uint64("fuzz-seed", 1, "base seed for -fuzz; without -fuzz, replay exactly one case (pair with -fuzz-mask)")
 	fuzzMask := flag.Uint64("fuzz-mask", 0, "feature mask for a single-case replay (0 = all features)")
+	traceCell := flag.String("trace-cell", "548.exchange2@mega@stt-rename",
+		"cell to trace with -trace-out, as bench@config@scheme")
+	serveTrace := flag.String("serve-trace", "", "serve the pipeline-trace viewer for this -trace-out JSONL file")
+	serveAddr := flag.String("serve-addr", "127.0.0.1:8383", "listen address for -serve-trace")
+	traceHTML := flag.String("trace-html", "",
+		"with -serve-trace: render the viewer page to this file and exit instead of serving")
 	common := cliutil.Register(flag.CommandLine, "")
+	common.RegisterTrace(flag.CommandLine)
 	flag.Parse()
 
 	// Profile the whole run (cell construction included — see
@@ -64,6 +71,29 @@ func main() {
 			cliutil.Fatal(tool, fmt.Errorf("-experiment cannot be combined with -fuzz/-fuzz-seed/-fuzz-mask"))
 		}
 		runFuzz(*fuzzN, *fuzzSeed, *fuzzMask, common.Parallelism, *quiet)
+		return
+	}
+
+	if *serveTrace != "" {
+		if *traceHTML != "" {
+			page, err := sb.RenderTraceHTML(*serveTrace)
+			if err != nil {
+				cliutil.Fatal(tool, err)
+			}
+			if err := os.WriteFile(*traceHTML, page, 0o644); err != nil {
+				cliutil.Fatal(tool, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s: rendered %s to %s\n", tool, *serveTrace, *traceHTML)
+			return
+		}
+		fmt.Fprintf(os.Stderr, "%s: serving trace viewer for %s on http://%s/\n", tool, *serveTrace, *serveAddr)
+		if err := sb.ServeTrace(*serveAddr, *serveTrace); err != nil {
+			cliutil.Fatal(tool, err)
+		}
+		return
+	}
+	if common.TraceOut != "" {
+		runTracedCell(common, *traceCell, *warmup, *measure, *scale)
 		return
 	}
 
@@ -130,6 +160,32 @@ func main() {
 		cliutil.PrintCacheSummary(tool, st)
 	}
 	common.EmitBench(tool, "evaluation-sweep", st.Simulated, st.SimCycles, sweepWall, opts.Parallelism)
+}
+
+// runTracedCell runs one bench@config@scheme cell with the JSONL trace
+// recorder attached (-trace-out) and prints its headline result. The
+// recorder is observational, so the printed numbers match an untraced
+// run of the same cell.
+func runTracedCell(common *cliutil.Flags, cell string, warmup, measure uint64, scale int) {
+	parts := strings.Split(cell, "@")
+	if len(parts) != 3 {
+		cliutil.Fatal(tool, fmt.Errorf("-trace-cell wants bench@config@scheme, got %q", cell))
+	}
+	cfg, err := sb.ConfigByName(parts[1])
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	kind, err := sb.SchemeByName(parts[2])
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles = warmup
+	opts.MeasureCycles = measure
+	opts.Scale = scale
+	run := common.RunTraced(tool, cfg, kind, parts[0], opts)
+	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n",
+		run.Bench, run.Config, run.Scheme, run.IPC, run.Insts, run.Cycles)
 }
 
 // runFuzz drives the differential fuzzing subsystem: a campaign of n

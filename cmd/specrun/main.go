@@ -34,6 +34,7 @@ func main() {
 	measure := flag.Uint64("measure", 32_000, "measured cycles")
 	list := flag.Bool("list", false, "list benchmarks and exit")
 	common := cliutil.Register(flag.CommandLine, "")
+	common.RegisterTrace(flag.CommandLine)
 	flag.Parse()
 
 	if *list {
@@ -77,8 +78,13 @@ func main() {
 	}
 	sess := sb.NewSession(sb.SessionConfig{Options: opts, Cache: cache})
 	start := time.Now()
-	run, err := sess.Run(ctx, cfg, kind, prof)
-	if err != nil {
+	var run sb.Run
+	if common.TraceOut != "" {
+		// Traced runs go straight to the simulator (a cached cell cannot
+		// replay its pipeline events); the recorder is observational, so
+		// everything printed below matches an untraced run exactly.
+		run = common.RunTraced(tool, cfg, kind, *bench, opts)
+	} else if run, err = sess.Run(ctx, cfg, kind, prof); err != nil {
 		cliutil.Fatal(tool, err)
 	}
 	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n\n",
@@ -120,16 +126,8 @@ func sweep(ctx context.Context, cfg sb.Config, prof sb.Benchmark, opts sb.Option
 			m.MeanIPC(cfg.Name, k), 100*m.BenchNormIPC(cfg.Name, k, prof.Name))
 	}
 	fmt.Println()
-	baseCell, _ := m.Cell(cfg.Name, sb.Baseline)
-	for _, k := range schemes {
-		if k == sb.Baseline {
-			continue
-		}
-		cell, ok := m.Cell(cfg.Name, k)
-		if !ok || len(cell.Runs) == 0 || len(baseCell.Runs) == 0 {
-			continue
-		}
-		fmt.Println(trace.Compare(sb.TraceOf(baseCell.Runs[0]), sb.TraceOf(cell.Runs[0])))
+	for _, line := range cliutil.TraceDeltaLines(m, cfg.Name, schemes) {
+		fmt.Println(line)
 	}
 	finish(sess, common, "specrun-sweep", start, opts.Parallelism)
 }

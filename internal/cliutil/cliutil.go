@@ -16,6 +16,7 @@ import (
 	"time"
 
 	sb "repro"
+	"repro/internal/trace"
 )
 
 // Flags holds the values of the common flags after flag.Parse.
@@ -26,6 +27,9 @@ type Flags struct {
 	CacheDir    string
 	CPUProfile  string
 	MemProfile  string
+	// TraceOut is the -trace-out path (registered by RegisterTrace on the
+	// cmds that run individual cells).
+	TraceOut string
 }
 
 // Register installs the common flags on fs (flag.CommandLine in the cmds)
@@ -44,6 +48,62 @@ func Register(fs *flag.FlagSet, cacheHelp string) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path (go tool pprof)")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write an end-of-run heap profile to this path (go tool pprof)")
 	return f
+}
+
+// RegisterTrace installs the -trace-out flag. Only cmds that run a single
+// identifiable cell register it (shadowbinding, specrun); the recorder is
+// observational, so a traced run's printed results are identical to an
+// untraced run's.
+func (f *Flags) RegisterTrace(fs *flag.FlagSet) {
+	fs.StringVar(&f.TraceOut, "trace-out", "",
+		"write a per-cycle JSONL pipeline trace of the run to this path (view with shadowbinding -serve-trace PATH)")
+}
+
+// RunTraced runs one cell directly (bypassing the session cell cache — a
+// cached result cannot replay its pipeline events) with a JSONL trace
+// recorder attached, writing the trace to f.TraceOut. Recorders are
+// observational: the returned Run matches an untraced run of the same
+// cell exactly.
+func (f *Flags) RunTraced(tool string, cfg sb.Config, kind sb.Scheme, bench string, opts sb.Options) sb.Run {
+	out, err := os.Create(f.TraceOut)
+	if err != nil {
+		Fatal(tool, err)
+	}
+	run, err := sb.RunBenchmarkTraced(cfg, kind, bench, opts, out)
+	if err != nil {
+		out.Close()
+		Fatal(tool, err)
+	}
+	if err := out.Close(); err != nil {
+		Fatal(tool, err)
+	}
+	fmt.Fprintf(os.Stderr, "%s: wrote pipeline trace to %s\n", tool, f.TraceOut)
+	return run
+}
+
+// TraceDeltaLines renders a sweep's per-scheme trace comparisons against
+// the baseline cell of cfgName. When the baseline cell is missing or
+// empty the sweep cannot be normalized: the result is one explanatory
+// note, never silence. A missing scheme cell likewise gets a note.
+func TraceDeltaLines(m *sb.Matrix, cfgName string, schemes []sb.Scheme) []string {
+	baseCell, ok := m.Cell(cfgName, sb.Baseline)
+	if !ok || len(baseCell.Runs) == 0 {
+		return []string{`trace deltas unavailable: no baseline cell in this sweep (add "baseline" to -schemes)`}
+	}
+	base := sb.TraceOf(baseCell.Runs[0])
+	var lines []string
+	for _, k := range schemes {
+		if k == sb.Baseline {
+			continue
+		}
+		cell, ok := m.Cell(cfgName, k)
+		if !ok || len(cell.Runs) == 0 {
+			lines = append(lines, fmt.Sprintf("trace delta unavailable for %s: scheme cell missing from this sweep", k))
+			continue
+		}
+		lines = append(lines, trace.Compare(base, sb.TraceOf(cell.Runs[0])).String())
+	}
+	return lines
 }
 
 // StartProfiles starts the -cpuprofile/-memprofile collection and returns

@@ -1,8 +1,10 @@
 package cliutil
 
 import (
+	"context"
 	"flag"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -32,6 +34,57 @@ func TestRegisterAndSchemes(t *testing.T) {
 	f.SchemesCSV = "bogus"
 	if _, err := f.Schemes(false); err == nil {
 		t.Error("bogus scheme filter accepted")
+	}
+}
+
+// sweepMatrix materializes a tiny one-bench sweep for the given schemes.
+func sweepMatrix(t *testing.T, schemes []sb.Scheme) *sb.Matrix {
+	t.Helper()
+	prof, err := sb.BenchmarkByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles, opts.MeasureCycles = 500, 1500
+	sess := sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes})
+	m, err := sess.Matrix(context.Background(), sb.MatrixSpec{
+		Name:    "cliutil-test",
+		Configs: []sb.Config{sb.MegaConfig()},
+		Benches: []sb.Benchmark{prof},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestTraceDeltaLines pins the sweep trace-delta rendering: a comparison
+// line per scheme when the baseline cell exists, and an explanatory note
+// — never silence — when it does not.
+func TestTraceDeltaLines(t *testing.T) {
+	cfgName := sb.MegaConfig().Name
+	schemes := []sb.Scheme{sb.Baseline, sb.NDA, sb.DoM}
+	m := sweepMatrix(t, schemes)
+	lines := TraceDeltaLines(m, cfgName, schemes)
+	if len(lines) != 2 {
+		t.Fatalf("got %d delta lines, want 2: %v", len(lines), lines)
+	}
+	if !strings.Contains(lines[0], "nda vs baseline") || !strings.Contains(lines[1], "dom vs baseline") {
+		t.Errorf("unexpected delta lines: %v", lines)
+	}
+
+	// Baseline missing from the sweep: one explanatory note, not silence.
+	noBase := []sb.Scheme{sb.NDA}
+	lines = TraceDeltaLines(sweepMatrix(t, noBase), cfgName, noBase)
+	if len(lines) != 1 || !strings.Contains(lines[0], "no baseline cell") {
+		t.Errorf("missing-baseline sweep rendered %v, want one explanatory note", lines)
+	}
+
+	// A scheme cell missing from the matrix gets a note too.
+	base := []sb.Scheme{sb.Baseline}
+	lines = TraceDeltaLines(sweepMatrix(t, base), cfgName, []sb.Scheme{sb.Baseline, sb.DoM})
+	if len(lines) != 1 || !strings.Contains(lines[0], "scheme cell missing") {
+		t.Errorf("missing-scheme sweep rendered %v, want one explanatory note", lines)
 	}
 }
 

@@ -65,12 +65,21 @@ func cellKey(cfg Config, kind SchemeKind, bench string, budget uint64) string {
 // the probe-observationality tests so both hash the same record fields.
 func hashedRun(t *testing.T, cfg Config, kind SchemeKind, bench string, budget uint64, probe Probe) (hash string, cycles uint64) {
 	t.Helper()
+	return hashedRunWith(t, cfg, kind, bench, budget, probe, nil)
+}
+
+// hashedRunWith is hashedRun with an optional stage-trace recorder too —
+// shared with the recorder-observationality tests so probes and recorders
+// are held to the same byte-identity bar.
+func hashedRunWith(t *testing.T, cfg Config, kind SchemeKind, bench string, budget uint64, probe Probe, rec Recorder) (hash string, cycles uint64) {
+	t.Helper()
 	prof, err := workloads.ByName(bench)
 	if err != nil {
 		t.Fatal(err)
 	}
 	c := MustNew(cfg, kind, prof.Build(1))
 	c.Probe = probe
+	c.Recorder = rec
 	h := sha256.New()
 	c.CommitHook = func(rec isa.Commit) {
 		fmt.Fprintf(h, "%d %v %d %d %v %d %d\n",

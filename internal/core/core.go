@@ -100,6 +100,14 @@ type Core struct {
 	// probe dispatch (nil for schemes that track no taint).
 	taintQ taintQuerier
 
+	// Recorder, when set, receives every micro-op's stage transitions
+	// (fetch/rename/issue/writeback/visibility-point/commit/squash) with
+	// scheme delay annotations — the per-cycle trace export behind
+	// -trace-out (see recorder.go). Like Probe, strictly observational:
+	// attaching a Recorder must not perturb timing, and the nil case
+	// costs one pointer compare per site.
+	Recorder Recorder
+
 	Stats Stats
 }
 
@@ -407,6 +415,7 @@ func (c *Core) commitStage() {
 		}
 		c.rob.pop()
 		c.progressed = true
+		var commitAnnot TraceAnnot
 		if c.vpDone > 0 {
 			// Head pop shifts the visibility-point walk's resume offset.
 			// An unvisited head (commit ran ahead of the walk, offset 0)
@@ -435,6 +444,7 @@ func (c *Core) commitStage() {
 				// yet, but commit proves it non-speculative; release the
 				// ready broadcast before its register can be reallocated.
 				b.broadcastPending = false
+				commitAnnot |= AnnotNDAReleased
 				if b.pd != noReg {
 					c.prf.announce(b.pd, c.cycle)
 					if c.Probe != nil {
@@ -477,6 +487,9 @@ func (c *Core) commitStage() {
 		c.lsu.commitOldest(u)
 		if c.CommitHook != nil {
 			c.CommitHook(c.commitRecord(u))
+		}
+		if c.Recorder != nil {
+			c.recordStage(u, StageCommit, partWhole, commitAnnot)
 		}
 		// The slot recycles immediately: a committed uop has provably
 		// drained every live reference — its events fired before it could
@@ -551,6 +564,7 @@ func (c *Core) vpStage() {
 			// walk stalls here and retries next cycle.
 			return false
 		}
+		var vpAnnot TraceAnnot
 		if c.a.isLoad(u) {
 			if b.missDelayed && c.a.state[u] == stateWaiting {
 				// Delay-on-Miss wakeup: the miss is non-speculative now;
@@ -558,10 +572,14 @@ func (c *Core) vpStage() {
 				// This re-arm is the explicit wake registration nextWake's
 				// retryAt scan depends on.
 				c.a.retryAt[u] = c.cycle + 1
+				vpAnnot |= AnnotDoMResumed
 			}
 			c.nonSpecLoadQ = append(c.nonSpecLoadQ, c.a.ref(u))
 		}
 		c.progressed = true
+		if c.Recorder != nil {
+			c.recordStage(u, StageVP, partWhole, vpAnnot)
+		}
 		return true
 	})
 	// Broadcast non-speculative loads: at most one per memory port per
@@ -602,6 +620,9 @@ func (c *Core) vpStage() {
 			c.prf.announce(b.pd, c.cycle+1)
 			if c.Probe != nil {
 				c.probeBroadcast(ld, c.cycle+1, false, true)
+			}
+			if c.Recorder != nil {
+				c.recordStage(ld, StageVP, partWhole, AnnotNDAReleased)
 			}
 		}
 	}
@@ -644,6 +665,16 @@ func (c *Core) exposeLoad(u int32, now uint64) bool {
 	if c.Probe != nil {
 		c.probeCacheAccess(u, now, CacheAccessExposure, hit)
 	}
+	if c.Recorder != nil {
+		// Both exposure sites — the visibility-point walk and commit —
+		// report StageVP: commit is the definitive visibility point, and
+		// either way the exposure is the delay InvisiSpec inserted there.
+		an := AnnotExposure
+		if hit {
+			an |= AnnotL1Hit
+		}
+		c.recordStage(u, StageVP, partWhole, an)
+	}
 	return true
 }
 
@@ -676,10 +707,16 @@ func (c *Core) writebackStage() {
 			if b.dataReady {
 				c.a.state[u] = stateDone
 			}
+			if c.Recorder != nil {
+				c.recordStage(u, StageWriteback, partStoreAddr, 0)
+			}
 		case evStoreData:
 			b.dataReady = true
 			if b.addrReady {
 				c.a.state[u] = stateDone
+			}
+			if c.Recorder != nil {
+				c.recordStage(u, StageWriteback, partStoreData, 0)
 			}
 		default:
 			c.completeUop(u)
@@ -702,6 +739,29 @@ func (c *Core) completeUop(u int32) {
 		if b.inst.Op == isa.Jalr {
 			c.resolveControl(u, false)
 		}
+	}
+	if c.Recorder != nil {
+		// After the switch so the record carries what completion caused:
+		// loadBroadcast just decided whether NDA withholds the ready
+		// broadcast, and a control uop's actual target is compared against
+		// its prediction (u itself survives its own squash, so the slot is
+		// still live here).
+		var an TraceAnnot
+		if b.broadcastPending {
+			an |= AnnotNDAWithheld
+		}
+		if c.a.isLoad(u) {
+			if b.hitL1 {
+				an |= AnnotL1Hit
+			}
+			if b.invisible {
+				an |= AnnotInvisible
+			}
+		}
+		if (c.a.cls[u] == isa.ClassBranch || b.inst.Op == isa.Jalr) && b.target != b.predTarget {
+			an |= AnnotMispredict
+		}
+		c.recordStage(u, StageWriteback, partWhole, an)
 	}
 }
 
@@ -755,6 +815,9 @@ func (c *Core) resolveControl(u int32, conditional bool) {
 func (c *Core) reclaim(u int32) {
 	c.Stats.SquashedUops++
 	c.a.state[u] = stateSquashed
+	if c.Recorder != nil {
+		c.recordStage(u, StageSquash, partWhole, 0)
+	}
 	// A squashed invisible load is discarded from the speculative buffer
 	// without ever being exposed — no cache state was touched, none will
 	// be (the InvisiSpec security argument).
@@ -919,6 +982,11 @@ func (c *Core) issueStoreParts(u int32, slots, memPorts *int) {
 			if c.Probe != nil {
 				c.probeIssue(u, partStoreAddr)
 			}
+			if c.Recorder != nil {
+				c.recordStage(u, StageIssue, partStoreAddr, 0)
+			}
+		} else if c.Recorder != nil {
+			c.recordStage(u, StageIssue, partStoreAddr, AnnotSTTNopped)
 		}
 	}
 	if !b.dataIssued && *slots > 0 && c.a.src2ReadyAt[u] <= c.cycle && c.sch.canSelect(u, partStoreData) {
@@ -933,6 +1001,11 @@ func (c *Core) issueStoreParts(u int32, slots, memPorts *int) {
 			if c.Probe != nil {
 				c.probeIssue(u, partStoreData)
 			}
+			if c.Recorder != nil {
+				c.recordStage(u, StageIssue, partStoreData, 0)
+			}
+		} else if c.Recorder != nil {
+			c.recordStage(u, StageIssue, partStoreData, AnnotSTTNopped)
 		}
 	}
 }
@@ -958,6 +1031,9 @@ func (c *Core) issueLoad(u int32, slots, memPorts *int) bool {
 	// cycle cannot be idle-skipped.
 	c.progressed = true
 	if !c.sch.onIssue(u, partWhole) {
+		if c.Recorder != nil {
+			c.recordStage(u, StageIssue, partWhole, AnnotSTTNopped)
+		}
 		return false // nop-ed by the taint unit; stays queued
 	}
 	*memPorts--
@@ -999,6 +1075,9 @@ func (c *Core) issueLoad(u int32, slots, memPorts *int) bool {
 				b.missDelayed = true
 				c.Stats.DoMDelayedLoads++
 				c.a.retryAt[u] = neverRetry
+				if c.Recorder != nil {
+					c.recordStage(u, StageIssue, partWhole, AnnotDoMParked)
+				}
 				return false
 			}
 		}
@@ -1047,6 +1126,16 @@ func (c *Core) issueLoad(u int32, slots, memPorts *int) bool {
 	if c.Probe != nil {
 		c.probeIssue(u, partWhole)
 	}
+	if c.Recorder != nil {
+		var an TraceAnnot
+		if b.hitL1 {
+			an |= AnnotL1Hit
+		}
+		if b.invisible {
+			an |= AnnotInvisible
+		}
+		c.recordStage(u, StageIssue, partWhole, an)
+	}
 	return true
 }
 
@@ -1074,6 +1163,9 @@ func (c *Core) issueSimple(u int32, cls isa.Class, slots, aluUnits, mulUnits *in
 	*slots--
 	c.progressed = true
 	if !c.sch.onIssue(u, partWhole) {
+		if c.Recorder != nil {
+			c.recordStage(u, StageIssue, partWhole, AnnotSTTNopped)
+		}
 		return false
 	}
 	b := &c.a.body[u]
@@ -1133,6 +1225,9 @@ func (c *Core) issueSimple(u int32, cls isa.Class, slots, aluUnits, mulUnits *in
 	c.schedule(u, doneAt, evDone)
 	if c.Probe != nil {
 		c.probeIssue(u, partWhole)
+	}
+	if c.Recorder != nil {
+		c.recordStage(u, StageIssue, partWhole, 0)
 	}
 	return true
 }
@@ -1270,5 +1365,12 @@ func (c *Core) renameStage() {
 			c.lsu.addStore(u)
 		}
 		c.rob.push(u)
+		if c.Recorder != nil {
+			// The fetch record is stamped retroactively: the fetch entry's
+			// readyAt is its fetch cycle plus the front-end depth, and the
+			// front end itself knows no sequence numbers.
+			c.recordStageAt(u, e.readyAt-c.cfg.FrontendDelay, StageFetch, partWhole, 0)
+			c.recordStage(u, StageRename, partWhole, 0)
+		}
 	}
 }

@@ -1,0 +1,197 @@
+package core
+
+import "repro/internal/isa"
+
+// The per-cycle trace hook API — the simulator-side half of the paper's
+// TraceDoctor methodology (Section 7): where internal/trace digests
+// end-of-run counters, a Recorder sees every micro-op's passage through
+// every pipeline stage, cycle-stamped, with the scheme-inserted delays
+// (a Delay-on-Miss park, an InvisiSpec exposure, an NDA withheld
+// broadcast, an STT nop slot) annotated at the event that caused them.
+// The exchange2 forwarding-error pathology of Section 9.2 was found with
+// exactly this kind of per-instruction extraction.
+//
+// Recorders follow the Probe contract (probe.go): strictly observational.
+// Every hook fires after the pipeline has committed to the reported
+// transition, carries copies of the relevant state, and must not perturb
+// timing — the commit stream and cycle count of a run with a Recorder
+// attached are byte-identical to the same run without one
+// (TestRecorderIsObservational). When Core.Recorder is nil the dispatch
+// cost is one pointer compare per site.
+
+// Recorder observes per-uop pipeline stage transitions.
+type Recorder interface {
+	// OnStage fires once per micro-op stage transition. Events are
+	// emitted in non-decreasing cycle order; within a cycle they follow
+	// the back-to-front stage processing order (commit before issue
+	// before rename). Implementations must not retain the event past the
+	// call (it is a value; retaining copies is fine).
+	OnStage(ev StageEvent)
+}
+
+// Stage identifies a pipeline stage transition in a StageEvent.
+type Stage uint8
+
+const (
+	// StageFetch is the cycle the instruction was fetched. It is
+	// reported retroactively alongside StageRename (the front end does
+	// not know sequence numbers; wrong-path fetches that never reach
+	// rename are not traced).
+	StageFetch Stage = iota
+	// StageRename is the cycle the uop was renamed into the backend.
+	StageRename
+	// StageIssue is an issue-stage selection outcome: a successful issue
+	// of the whole uop or a store half (Part), a Delay-on-Miss park
+	// (AnnotDoMParked), or an STT taint nop (AnnotSTTNopped).
+	StageIssue
+	// StageWriteback is the cycle a completion event retired (store
+	// halves report their Part).
+	StageWriteback
+	// StageVP is the cycle the visibility-point walk passed the uop —
+	// the moment it became non-speculative — or, annotated, a VP-side
+	// scheme event on it (exposure re-access, NDA broadcast release).
+	StageVP
+	// StageCommit is the cycle the uop retired architecturally.
+	StageCommit
+	// StageSquash is the cycle the uop was squashed (branch mispredict
+	// recovery or a memory-ordering flush).
+	StageSquash
+
+	numStages
+)
+
+var stageNames = [numStages]string{
+	StageFetch:     "fetch",
+	StageRename:    "rename",
+	StageIssue:     "issue",
+	StageWriteback: "writeback",
+	StageVP:        "vp",
+	StageCommit:    "commit",
+	StageSquash:    "squash",
+}
+
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return "stage?"
+}
+
+// TraceAnnot is a bitset of scheme and memory annotations on a StageEvent
+// — where each scheme inserts its delays, stamped on the event that
+// inserted them.
+type TraceAnnot uint16
+
+const (
+	// AnnotL1Hit marks an issued load that hit the L1 (or forwarded from
+	// the store queue), and an exposure that hit.
+	AnnotL1Hit TraceAnnot = 1 << iota
+	// AnnotDoMParked marks a Delay-on-Miss park: the issue attempt found
+	// a speculative L1 miss and the load parked until the visibility
+	// point (Stage is StageIssue; no issue happened).
+	AnnotDoMParked
+	// AnnotDoMResumed marks the visibility-point walk re-arming a parked
+	// load (Stage is StageVP).
+	AnnotDoMResumed
+	// AnnotInvisible marks an InvisiSpec load issued into the
+	// speculative buffer instead of the cache hierarchy.
+	AnnotInvisible
+	// AnnotExposure marks an InvisiSpec exposure re-access starting
+	// (Stage is StageVP; commit-driven exposures report the same stage —
+	// commit is the definitive visibility point).
+	AnnotExposure
+	// AnnotNDAWithheld marks a completed load whose ready broadcast NDA
+	// withheld at writeback.
+	AnnotNDAWithheld
+	// AnnotNDAReleased marks the withheld broadcast being released by
+	// the visibility point (StageVP) or commit (StageCommit).
+	AnnotNDAReleased
+	// AnnotSTTNopped marks an issue slot the STT taint unit wasted on a
+	// nop instead of the selected uop (Stage is StageIssue; the uop
+	// stays queued).
+	AnnotSTTNopped
+	// AnnotMispredict marks a resolved control instruction whose
+	// predicted target was wrong (Stage is StageWriteback).
+	AnnotMispredict
+
+	numAnnots = 9
+)
+
+var annotNames = [numAnnots]string{
+	"l1-hit",
+	"dom-park",
+	"dom-resume",
+	"invisible",
+	"exposure",
+	"nda-withheld",
+	"nda-release",
+	"stt-nop",
+	"mispredict",
+}
+
+// AnnotNames renders the set as stable dash-case names in bit order.
+func (a TraceAnnot) AnnotNames() []string {
+	var out []string
+	for i := 0; i < numAnnots; i++ {
+		if a&(1<<i) != 0 {
+			out = append(out, annotNames[i])
+		}
+	}
+	return out
+}
+
+// AppendNames appends the set's names to dst separated by '|' — the
+// allocation-free encoder path (see internal/trace).
+func (a TraceAnnot) AppendNames(dst []byte) []byte {
+	first := true
+	for i := 0; i < numAnnots; i++ {
+		if a&(1<<i) == 0 {
+			continue
+		}
+		if !first {
+			dst = append(dst, '|')
+		}
+		first = false
+		dst = append(dst, annotNames[i]...)
+	}
+	return dst
+}
+
+// StageEvent describes one micro-op stage transition.
+type StageEvent struct {
+	Cycle uint64
+	Seq   uint64 // program-order sequence number assigned at rename
+	PC    uint64
+	Op    isa.Op
+	Stage Stage
+	// Part distinguishes store address/data halves at issue and
+	// writeback; everything else reports PartWhole.
+	Part IssuePart
+	// Annot carries the scheme and memory annotations of this event.
+	Annot TraceAnnot
+	// Speculative reports whether the uop had not yet passed the
+	// visibility point when the event fired.
+	Speculative bool
+}
+
+// recordStage reports a stage transition at the current cycle. Callers
+// check c.Recorder != nil first so the nil case costs one compare.
+func (c *Core) recordStage(u int32, stage Stage, part issuePart, annot TraceAnnot) {
+	c.recordStageAt(u, c.cycle, stage, part, annot)
+}
+
+// recordStageAt is recordStage with an explicit cycle stamp (the
+// retroactive fetch record).
+func (c *Core) recordStageAt(u int32, cycle uint64, stage Stage, part issuePart, annot TraceAnnot) {
+	b := &c.a.body[u]
+	c.Recorder.OnStage(StageEvent{
+		Cycle:       cycle,
+		Seq:         c.a.seq[u],
+		PC:          b.pc,
+		Op:          b.inst.Op,
+		Stage:       stage,
+		Part:        part,
+		Annot:       annot,
+		Speculative: !b.nonSpec,
+	})
+}

@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+// countingRecorder tallies stage events and annotations without
+// inspecting the run.
+type countingRecorder struct {
+	total    uint64
+	byStage  [numStages]uint64
+	byAnnot  [numAnnots]uint64
+	badStage int
+}
+
+func (r *countingRecorder) OnStage(ev StageEvent) {
+	r.total++
+	if int(ev.Stage) >= int(numStages) {
+		r.badStage++
+		return
+	}
+	r.byStage[ev.Stage]++
+	for i := 0; i < numAnnots; i++ {
+		if ev.Annot&(1<<i) != 0 {
+			r.byAnnot[i]++
+		}
+	}
+}
+
+// TestRecorderIsObservational pins the recorder API's core contract,
+// mirroring TestProbeIsObservational: attaching a stage-trace recorder
+// must not perturb timing or architectural results — the commit stream
+// and cycle count with a recorder are byte-identical to a run without
+// one, for every registered scheme.
+func TestRecorderIsObservational(t *testing.T) {
+	cfg := MegaConfig()
+	for _, kind := range SchemeKinds() {
+		rec := &countingRecorder{}
+		withHash, withCycles := hashedRunWith(t, cfg, kind, "505.mcf", probeBudget, nil, rec)
+		bareHash, bareCycles := hashedRun(t, cfg, kind, "505.mcf", probeBudget, nil)
+		if withHash != bareHash || withCycles != bareCycles {
+			t.Errorf("%s: recorder perturbed the run: hash %s/%s cycles %d/%d",
+				kind, withHash, bareHash, withCycles, bareCycles)
+		}
+		if rec.badStage > 0 {
+			t.Errorf("%s: %d events with out-of-range stage", kind, rec.badStage)
+		}
+		for _, st := range []Stage{StageFetch, StageRename, StageIssue, StageWriteback, StageCommit} {
+			if rec.byStage[st] == 0 {
+				t.Errorf("%s: no %s events recorded", kind, st)
+			}
+		}
+		// Rename admits a uop; commit or squash retires it. The counts
+		// can differ only by the uops still in flight at the cycle cap.
+		entered := rec.byStage[StageRename]
+		left := rec.byStage[StageCommit] + rec.byStage[StageSquash]
+		if left > entered {
+			t.Errorf("%s: %d commits+squashes but only %d renames", kind, left, entered)
+		}
+		if entered-left > uint64(cfg.ROBSize) {
+			t.Errorf("%s: %d uops unaccounted for (> ROB size %d)", kind, entered-left, cfg.ROBSize)
+		}
+	}
+}
+
+// TestRecorderSchemeAnnotations asserts each scheme's delay insertions
+// are visible in the trace on a memory-bound proxy: DoM parks, InvisiSpec
+// invisible loads and exposures, NDA withheld/released broadcasts, and
+// STT-Issue nop slots.
+func TestRecorderSchemeAnnotations(t *testing.T) {
+	cfg := MegaConfig()
+	annotIdx := func(name string) int {
+		for i, n := range annotNames {
+			if n == name {
+				return i
+			}
+		}
+		t.Fatalf("unknown annotation %q", name)
+		return -1
+	}
+	cases := []struct {
+		kind   SchemeKind
+		annots []string
+	}{
+		{KindDoM, []string{"dom-park", "dom-resume"}},
+		{KindInvisiSpec, []string{"invisible", "exposure"}},
+		{KindNDA, []string{"nda-withheld", "nda-release"}},
+		{KindSTTIssue, []string{"stt-nop"}},
+	}
+	for _, tc := range cases {
+		rec := &countingRecorder{}
+		hashedRunWith(t, cfg, tc.kind, "505.mcf", probeBudget, nil, rec)
+		for _, name := range tc.annots {
+			if rec.byAnnot[annotIdx(name)] == 0 {
+				t.Errorf("%s: no %s annotations recorded", tc.kind, name)
+			}
+		}
+	}
+	// The baseline inserts no scheme delays: none of the scheme
+	// annotations may appear.
+	rec := &countingRecorder{}
+	hashedRunWith(t, cfg, KindBaseline, "505.mcf", probeBudget, nil, rec)
+	for _, name := range []string{"dom-park", "dom-resume", "invisible", "exposure", "nda-withheld", "nda-release", "stt-nop"} {
+		if n := rec.byAnnot[annotIdx(name)]; n > 0 {
+			t.Errorf("baseline: %d %s annotations recorded", n, name)
+		}
+	}
+}
+
+// TestAnnotNames pins the two annotation renderers against each other.
+func TestAnnotNames(t *testing.T) {
+	set := AnnotL1Hit | AnnotDoMParked | AnnotMispredict
+	want := "l1-hit|dom-park|mispredict"
+	if got := string(set.AppendNames(nil)); got != want {
+		t.Errorf("AppendNames = %q, want %q", got, want)
+	}
+	names := set.AnnotNames()
+	if len(names) != 3 || names[0] != "l1-hit" || names[1] != "dom-park" || names[2] != "mispredict" {
+		t.Errorf("AnnotNames = %v", names)
+	}
+	if got := TraceAnnot(0).AppendNames(nil); len(got) != 0 {
+		t.Errorf("empty set rendered %q", got)
+	}
+}

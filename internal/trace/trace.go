@@ -8,6 +8,7 @@ package trace
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"repro/internal/core"
@@ -89,12 +90,24 @@ func (r Report) String() string {
 		r.MispredictsPKI, r.FwdErrorsPKI, r.FlushesPKI)
 	fmt.Fprintf(&b, "  squashed/ki    %8.2f   delayed-bcast/ki %5.2f\n", r.SquashedPKI, r.DelayedBcastPKI)
 	fmt.Fprintf(&b, "  taint-blocks/ki %7.2f   nop-slots/ki  %8.2f\n", r.TaintBlocksPKI, r.NopSlotsPKI)
+	if r.renameStallTotal() == 0 {
+		fmt.Fprintf(&b, "  rename stalls: none\n")
+		return b.String()
+	}
 	fmt.Fprintf(&b, "  rename stalls:")
 	for _, k := range stallOrder {
 		fmt.Fprintf(&b, " %s %.0f%%", k, 100*r.StallShare[k])
 	}
 	fmt.Fprintf(&b, "\n")
 	return b.String()
+}
+
+// renameStallTotal sums the raw rename-stall counters — zero means the
+// stall-share row would be a meaningless line of 0% entries.
+func (r Report) renameStallTotal() uint64 {
+	s := r.Raw
+	return s.RenameStallROB + s.RenameStallIQ + s.RenameStallLQ + s.RenameStallSQ +
+		s.RenameStallPhys + s.RenameStallCkpt + s.RenameStallEmpty
 }
 
 // Comparison relates a scheme run to its baseline — the tool behind the
@@ -117,7 +130,10 @@ func Compare(base, scheme Report) Comparison {
 	case base.FwdErrorsPKI > 0:
 		c.FwdErrorFactor = scheme.FwdErrorsPKI / base.FwdErrorsPKI
 	case scheme.FwdErrorsPKI > 0:
-		c.FwdErrorFactor = float64(scheme.Raw.MemOrderViolations)
+		// Baseline saw zero forwarding errors but the scheme saw some: no
+		// finite factor exists. Report +Inf (rendered "n/a (base 0)"), not
+		// the raw violation count masquerading as a ratio.
+		c.FwdErrorFactor = math.Inf(1)
 	default:
 		c.FwdErrorFactor = 1
 	}
@@ -126,6 +142,10 @@ func Compare(base, scheme Report) Comparison {
 
 // String renders the comparison.
 func (c Comparison) String() string {
-	return fmt.Sprintf("%s vs baseline: IPC ratio %.3f, forwarding-error factor %.1fx, taint-blocks/ki %.1f, delayed-bcast/ki %.1f",
-		c.Scheme.Scheme, c.IPCRatio, c.FwdErrorFactor, c.Scheme.TaintBlocksPKI, c.Scheme.DelayedBcastPKI)
+	factor := fmt.Sprintf("%.1fx", c.FwdErrorFactor)
+	if math.IsInf(c.FwdErrorFactor, 1) {
+		factor = "∞ — n/a (base 0)"
+	}
+	return fmt.Sprintf("%s vs baseline: IPC ratio %.3f, forwarding-error factor %s, taint-blocks/ki %.1f, delayed-bcast/ki %.1f",
+		c.Scheme.Scheme, c.IPCRatio, factor, c.Scheme.TaintBlocksPKI, c.Scheme.DelayedBcastPKI)
 }

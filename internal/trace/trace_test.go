@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -78,15 +79,47 @@ func TestCompareForwardingFactor(t *testing.T) {
 	}
 }
 
+// TestCompareZeroBaselineErrors covers all three FwdErrorFactor branches:
+// a finite ratio, the undefined zero-baseline case (must be +Inf, never
+// the raw violation count masquerading as a factor), and no errors on
+// either side.
 func TestCompareZeroBaselineErrors(t *testing.T) {
 	base := New(core.KindBaseline, core.Stats{Cycles: 1000, Committed: 1000})
+	baseErrs := New(core.KindBaseline, core.Stats{Cycles: 1000, Committed: 1000, MemOrderViolations: 2})
 	stt := New(core.KindSTTRename, core.Stats{Cycles: 1000, Committed: 1000, MemOrderViolations: 7})
-	if f := Compare(base, stt).FwdErrorFactor; f != 7 {
-		t.Errorf("zero-baseline factor = %v, want raw count 7", f)
+
+	if f := Compare(baseErrs, stt).FwdErrorFactor; f != 3.5 {
+		t.Errorf("finite factor = %v, want 3.5", f)
+	}
+	cmp := Compare(base, stt)
+	if !math.IsInf(cmp.FwdErrorFactor, 1) {
+		t.Errorf("zero-baseline factor = %v, want +Inf", cmp.FwdErrorFactor)
+	}
+	if s := cmp.String(); !strings.Contains(s, "∞") || !strings.Contains(s, "n/a (base 0)") {
+		t.Errorf("infinite factor must render as ∞ / n/a (base 0), got: %s", s)
 	}
 	none := New(core.KindNDA, core.Stats{Cycles: 1000, Committed: 1000})
 	if f := Compare(base, none).FwdErrorFactor; f != 1 {
 		t.Errorf("no-errors factor = %v, want 1", f)
+	}
+}
+
+// TestReportStringStallRenderings pins both stall-row renderings: the
+// share breakdown when stalls occurred, and the explicit "none" line
+// (not a misleading row of 0% entries) when none did.
+func TestReportStringStallRenderings(t *testing.T) {
+	withStalls := New(core.KindSTTRename, sampleStats()).String()
+	if !strings.Contains(withStalls, "rename stalls: rob 60% issueq 40%") {
+		t.Errorf("stall shares missing from:\n%s", withStalls)
+	}
+	s := sampleStats()
+	s.RenameStallROB, s.RenameStallIQ = 0, 0
+	noStalls := New(core.KindSTTRename, s).String()
+	if !strings.Contains(noStalls, "rename stalls: none") {
+		t.Errorf(`want "rename stalls: none" in:\n%s`, noStalls)
+	}
+	if strings.Contains(noStalls, "0%") {
+		t.Errorf("zero-stall report still renders a 0%% share row:\n%s", noStalls)
 	}
 }
 

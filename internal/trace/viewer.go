@@ -1,0 +1,390 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The trace viewer: renders an Analysis as one self-contained HTML page
+// (inline SVG, no external assets) with three panes — pipeline occupancy
+// over time, per-stage-transition latency histograms, and the timeline of
+// scheme-inserted delays — plus stat tiles and data tables. Geometry is
+// computed here; the template only lays out precomputed markup.
+
+// chart geometry shared by the line charts.
+const (
+	lineW, lineH                          = 920.0, 240.0
+	histW, histH                          = 440.0, 190.0
+	padLeft, padTop, padRight, padBot     = 52.0, 14.0, 14.0, 30.0
+	histPadLeft, histPadTop, histPadRight = 42.0, 12.0, 8.0
+	histPadBot                            = 40.0
+	maxBarW                               = 24.0
+)
+
+// seriesVM is one plotted series.
+type seriesVM struct {
+	Name  string
+	Slot  int // categorical slot 1..4 → CSS var --series-N
+	Line  template.HTML
+	Area  template.HTML
+	Total uint64
+}
+
+// tickVM is one axis tick (position in px, label).
+type tickVM struct {
+	Pos   float64
+	Label string
+}
+
+// lineChartVM is a line/area chart with hover crosshair data.
+type lineChartVM struct {
+	ID     string
+	W, H   float64
+	PlotX0 float64
+	PlotX1 float64
+	PlotY0 float64
+	PlotY1 float64
+	Series []seriesVM
+	YTicks []tickVM
+	XTicks []tickVM
+	// Data is the JSON the crosshair reads: {cycles:[...], series:[{name, values:[...]}]}.
+	Data template.JS
+}
+
+// histVM is one latency histogram small-multiple.
+type histVM struct {
+	Name    string
+	Count   uint64
+	Mean    float64
+	Max     uint64
+	Bars    template.HTML
+	YTicks  []tickVM
+	XLabels []tickVM
+}
+
+// tileVM is one stat tile.
+type tileVM struct {
+	Label string
+	Value string
+}
+
+// tableVM is a generic two-column data table.
+type tableVM struct {
+	Title string
+	Cols  []string
+	Rows  [][]string
+}
+
+type viewModel struct {
+	Meta      Meta
+	Tiles     []tileVM
+	Occupancy *lineChartVM
+	Hists     []histVM
+	Delays    *lineChartVM
+	DelayNote string
+	Tables    []tableVM
+	LineW     float64
+	LineH     float64
+	HistW     float64
+	HistH     float64
+}
+
+// RenderHTML renders the analysis as a self-contained HTML page.
+func RenderHTML(a Analysis) ([]byte, error) {
+	vm := buildViewModel(a)
+	var buf bytes.Buffer
+	if err := viewerTmpl.Execute(&buf, vm); err != nil {
+		return nil, fmt.Errorf("trace: render viewer: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RenderTraceFile decodes a JSONL trace file and renders the viewer page.
+func RenderTraceFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	meta, recs, err := DecodeAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return RenderHTML(Analyze(meta, recs))
+}
+
+// ServeTrace serves the viewer for path on addr, re-rendering the file on
+// every request so a refreshed browser picks up a rewritten trace.
+func ServeTrace(addr, path string) error {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		page, err := RenderTraceFile(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		_, _ = w.Write(page)
+	})
+	return http.ListenAndServe(addr, mux)
+}
+
+func buildViewModel(a Analysis) viewModel {
+	vm := viewModel{
+		Meta:  a.Meta,
+		LineW: lineW, LineH: lineH, HistW: histW, HistH: histH,
+	}
+	vm.Tiles = []tileVM{
+		{"cycles", fmt.Sprintf("%d – %d", a.MinCycle, a.MaxCycle)},
+		{"uops traced", itoa(uint64(a.Uops))},
+		{"commits", itoa(a.Commits)},
+		{"squashes", itoa(a.Squashes)},
+		{"peak in-flight", itoa(uint64(a.PeakInFlight))},
+		{"events", itoa(uint64(a.Records))},
+	}
+
+	if len(a.Occupancy) > 0 {
+		occ := buildLineChart("occ", []DelaySeries{{
+			Name: "in-flight uops", Bins: a.Occupancy,
+		}}, true)
+		vm.Occupancy = &occ
+	}
+
+	for i, h := range a.Hists {
+		vm.Hists = append(vm.Hists, buildHist(h, i))
+	}
+
+	if len(a.Delays) > 0 {
+		d := buildLineChart("delays", a.Delays, false)
+		vm.Delays = &d
+	} else {
+		vm.DelayNote = "No scheme delay events in this trace (the baseline inserts none)."
+	}
+
+	// Data tables — the accessibility channel for every chart.
+	if len(a.StageCounts) > 0 {
+		t := tableVM{Title: "Stage events", Cols: []string{"stage", "events"}}
+		for _, s := range a.StageCounts {
+			t.Rows = append(t.Rows, []string{s.Stage, itoa(s.Count)})
+		}
+		vm.Tables = append(vm.Tables, t)
+	}
+	if len(a.AnnotCounts) > 0 {
+		t := tableVM{Title: "Annotations", Cols: []string{"annotation", "events"}}
+		for _, s := range a.AnnotCounts {
+			t.Rows = append(t.Rows, []string{s.Annot, itoa(s.Count)})
+		}
+		vm.Tables = append(vm.Tables, t)
+	}
+	if len(a.Hists) > 0 {
+		t := tableVM{Title: "Stage latencies", Cols: []string{"transition", "uops", "mean cycles", "max cycles"}}
+		for _, h := range a.Hists {
+			t.Rows = append(t.Rows, []string{h.Name, itoa(h.Count), fmt.Sprintf("%.2f", h.Mean), itoa(h.Max)})
+		}
+		vm.Tables = append(vm.Tables, t)
+	}
+	return vm
+}
+
+// buildLineChart lays out one or more series as 2px lines (plus a 10%
+// area wash when single-series) over hairline gridlines.
+func buildLineChart(id string, series []DelaySeries, area bool) lineChartVM {
+	ch := lineChartVM{
+		ID: id, W: lineW, H: lineH,
+		PlotX0: padLeft, PlotX1: lineW - padRight,
+		PlotY0: padTop, PlotY1: lineH - padBot,
+	}
+	if len(series) == 0 || len(series[0].Bins) == 0 {
+		return ch
+	}
+	bins := series[0].Bins
+	minC, maxC := bins[0].Cycle, bins[len(bins)-1].Cycle
+	var yMax float64
+	for _, s := range series {
+		for _, p := range s.Bins {
+			if p.Value > yMax {
+				yMax = p.Value
+			}
+		}
+	}
+	yMax = niceCeil(yMax)
+	if yMax == 0 {
+		yMax = 1
+	}
+	plotW, plotH := ch.PlotX1-ch.PlotX0, ch.PlotY1-ch.PlotY0
+	xOf := func(c uint64) float64 {
+		if maxC == minC {
+			return ch.PlotX0
+		}
+		return ch.PlotX0 + plotW*float64(c-minC)/float64(maxC-minC)
+	}
+	yOf := func(v float64) float64 { return ch.PlotY1 - plotH*v/yMax }
+
+	for si, s := range series {
+		var line strings.Builder
+		for i, p := range s.Bins {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&line, "%s%.1f %.1f", cmd, xOf(p.Cycle), yOf(p.Value))
+		}
+		sv := seriesVM{Name: s.Name, Slot: si + 1, Line: template.HTML(line.String()), Total: s.Total}
+		if area && len(series) == 1 {
+			ar := line.String() + fmt.Sprintf("L%.1f %.1fL%.1f %.1fZ",
+				xOf(s.Bins[len(s.Bins)-1].Cycle), ch.PlotY1, xOf(s.Bins[0].Cycle), ch.PlotY1)
+			sv.Area = template.HTML(ar)
+		}
+		ch.Series = append(ch.Series, sv)
+	}
+
+	for i := 0; i <= 4; i++ {
+		v := yMax * float64(i) / 4
+		ch.YTicks = append(ch.YTicks, tickVM{Pos: yOf(v), Label: fmtNum(v)})
+	}
+	for i := 0; i <= 5; i++ {
+		c := minC + uint64(float64(maxC-minC)*float64(i)/5)
+		ch.XTicks = append(ch.XTicks, tickVM{Pos: xOf(c), Label: itoa(c)})
+	}
+
+	// Crosshair data: bin cycles plus each series' values.
+	var data strings.Builder
+	data.WriteString(`{"x0":` + fmtF(ch.PlotX0) + `,"x1":` + fmtF(ch.PlotX1) + `,"cycles":[`)
+	for i, p := range bins {
+		if i > 0 {
+			data.WriteByte(',')
+		}
+		data.WriteString(strconv.FormatUint(p.Cycle, 10))
+	}
+	data.WriteString(`],"series":[`)
+	for si, s := range series {
+		if si > 0 {
+			data.WriteByte(',')
+		}
+		data.WriteString(`{"name":` + strconv.Quote(s.Name) + `,"values":[`)
+		for i, p := range s.Bins {
+			if i > 0 {
+				data.WriteByte(',')
+			}
+			data.WriteString(strconv.FormatFloat(p.Value, 'f', 1, 64))
+		}
+		data.WriteString(`]}`)
+	}
+	data.WriteString(`]}`)
+	ch.Data = template.JS(data.String())
+	return ch
+}
+
+// buildHist lays out one histogram: ≤24px bars with 4px rounded tops
+// anchored to the baseline, 2px surface gaps between bars.
+func buildHist(h LatencyHist, idx int) histVM {
+	vm := histVM{Name: h.Name, Count: h.Count, Mean: h.Mean, Max: h.Max}
+	n := len(h.Buckets)
+	if n == 0 {
+		return vm
+	}
+	var yMaxU uint64
+	for _, c := range h.Buckets {
+		if c > yMaxU {
+			yMaxU = c
+		}
+	}
+	yMax := niceCeil(float64(yMaxU))
+	if yMax == 0 {
+		yMax = 1
+	}
+	plotX0, plotX1 := histPadLeft, histW-histPadRight
+	plotY0, plotY1 := histPadTop, histH-histPadBot
+	plotW, plotH := plotX1-plotX0, plotY1-plotY0
+	slot := plotW / float64(n)
+	barW := slot - 2 // 2px surface gap between adjacent bars
+	if barW > maxBarW {
+		barW = maxBarW
+	}
+	if barW < 1 {
+		barW = 1
+	}
+	var bars strings.Builder
+	for i, c := range h.Buckets {
+		x := plotX0 + slot*float64(i) + (slot-barW)/2
+		bh := plotH * float64(c) / yMax
+		if c > 0 && bh < 1 {
+			bh = 1
+		}
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&bars, `<path class="bar s1f" d="%s" data-tip="%s cycles: %d uops"/>`,
+			barPath(x, plotY1-bh, barW, bh, 4), template.HTMLEscapeString(BucketLabel(i)), c)
+	}
+	vm.Bars = template.HTML(bars.String())
+	for i := 0; i <= 2; i++ {
+		v := yMax * float64(i) / 2
+		vm.YTicks = append(vm.YTicks, tickVM{Pos: plotY1 - plotH*v/yMax, Label: fmtNum(v)})
+	}
+	for i := 0; i < n; i += 3 {
+		vm.XLabels = append(vm.XLabels, tickVM{Pos: plotX0 + slot*float64(i) + slot/2, Label: BucketLabel(i)})
+	}
+	return vm
+}
+
+// barPath draws a baseline-anchored bar with rounded top corners.
+func barPath(x, y, w, h, r float64) string {
+	if r > h {
+		r = h
+	}
+	if r > w/2 {
+		r = w / 2
+	}
+	return fmt.Sprintf("M%.1f %.1fV%.1fQ%.1f %.1f %.1f %.1fH%.1fQ%.1f %.1f %.1f %.1fV%.1fZ",
+		x, y+h, y+r, x, y, x+r, y, x+w-r, x+w, y, x+w, y+r, y+h)
+}
+
+// niceCeil rounds up to a 1/2/5 × 10^k step.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'f', 1, 64) }
+
+func fmtNum(v float64) string {
+	if v == math.Trunc(v) {
+		return strconv.FormatFloat(v, 'f', 0, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 1, 64)
+}
+
+// toF widens template numeric literals (ints) and model floats alike.
+func toF(v interface{}) float64 {
+	switch n := v.(type) {
+	case float64:
+		return n
+	case int:
+		return float64(n)
+	case uint64:
+		return float64(n)
+	default:
+		return 0
+	}
+}
+
+var viewerTmpl = template.Must(template.New("viewer").Funcs(template.FuncMap{
+	"add": func(a, b interface{}) float64 { return toF(a) + toF(b) },
+	"sub": func(a, b interface{}) float64 { return toF(a) - toF(b) },
+	"div": func(a, b interface{}) float64 { return toF(a) / toF(b) },
+}).Parse(viewerHTML))

@@ -1,0 +1,285 @@
+package trace
+
+// viewerHTML is the embedded single-file viewer template. Colors follow
+// the repo's chart conventions: CSS custom properties define every role
+// once per mode (OS preference via prefers-color-scheme, explicit choice
+// via data-theme, toggle wins both ways); series colors are the fixed
+// categorical order blue/orange/aqua/yellow; text always wears text
+// tokens, never a series color.
+const viewerHTML = `<!doctype html>
+<!-- shadowbinding-trace-viewer -->
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>{{.Meta.Bench}} · {{.Meta.Scheme}} — pipeline trace</title>
+<style>
+.viz-root {
+  color-scheme: light;
+  --surface-1: #fcfcfb;
+  --page: #f9f9f7;
+  --text-primary: #0b0b0b;
+  --text-secondary: #52514e;
+  --muted: #898781;
+  --grid: #e1e0d9;
+  --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6;
+  --series-2: #eb6834;
+  --series-3: #1baf7a;
+  --series-4: #eda100;
+}
+@media (prefers-color-scheme: dark) {
+  :root:where(:not([data-theme="light"])) .viz-root {
+    color-scheme: dark;
+    --surface-1: #1a1a19;
+    --page: #0d0d0d;
+    --text-primary: #ffffff;
+    --text-secondary: #c3c2b7;
+    --muted: #898781;
+    --grid: #2c2c2a;
+    --axis: #383835;
+    --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5;
+    --series-2: #d95926;
+    --series-3: #199e70;
+    --series-4: #c98500;
+  }
+}
+:root[data-theme="dark"] .viz-root {
+  color-scheme: dark;
+  --surface-1: #1a1a19;
+  --page: #0d0d0d;
+  --text-primary: #ffffff;
+  --text-secondary: #c3c2b7;
+  --muted: #898781;
+  --grid: #2c2c2a;
+  --axis: #383835;
+  --border: rgba(255,255,255,0.10);
+  --series-1: #3987e5;
+  --series-2: #d95926;
+  --series-3: #199e70;
+  --series-4: #c98500;
+}
+* { box-sizing: border-box; }
+body.viz-root {
+  margin: 0; padding: 24px;
+  background: var(--page); color: var(--text-primary);
+  font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+}
+main { max-width: 980px; margin: 0 auto; }
+header { display: flex; align-items: baseline; gap: 12px; flex-wrap: wrap; margin-bottom: 16px; }
+h1 { font-size: 20px; margin: 0; }
+h2 { font-size: 15px; margin: 0 0 8px; }
+.meta { color: var(--text-secondary); }
+.spacer { flex: 1; }
+button.theme {
+  border: 1px solid var(--border); background: var(--surface-1); color: var(--text-secondary);
+  border-radius: 6px; padding: 4px 10px; cursor: pointer; font: inherit; font-size: 12px;
+}
+.tiles { display: grid; grid-template-columns: repeat(auto-fit, minmax(130px, 1fr)); gap: 10px; margin-bottom: 18px; }
+.tile { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 10px 12px; }
+.tile .v { font-size: 18px; font-weight: 600; }
+.tile .l { color: var(--muted); font-size: 12px; }
+section.card { background: var(--surface-1); border: 1px solid var(--border); border-radius: 8px; padding: 14px 16px; margin-bottom: 18px; }
+.sub { color: var(--text-secondary); font-size: 12px; margin: 0 0 10px; }
+svg { display: block; max-width: 100%; height: auto; }
+svg text { fill: var(--muted); font: 11px system-ui, -apple-system, "Segoe UI", sans-serif; }
+svg .ticklabel { font-variant-numeric: tabular-nums; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.axisline { stroke: var(--axis); stroke-width: 1; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; stroke-linecap: round; }
+.s1 { stroke: var(--series-1); } .s2 { stroke: var(--series-2); }
+.s3 { stroke: var(--series-3); } .s4 { stroke: var(--series-4); }
+.s1f { fill: var(--series-1); } .s2f { fill: var(--series-2); }
+.s3f { fill: var(--series-3); } .s4f { fill: var(--series-4); }
+.area { opacity: 0.10; stroke: none; }
+.bar:hover { opacity: 0.8; }
+.crosshair { stroke: var(--axis); stroke-width: 1; stroke-dasharray: 3 3; visibility: hidden; }
+.hitlayer { fill: transparent; }
+.legend { display: flex; gap: 16px; flex-wrap: wrap; margin: 8px 0 0; padding: 0; list-style: none; font-size: 12px; color: var(--text-secondary); }
+.legend .swatch { display: inline-block; width: 10px; height: 10px; border-radius: 3px; margin-right: 6px; vertical-align: -1px; }
+.histgrid { display: grid; grid-template-columns: repeat(auto-fit, minmax(420px, 1fr)); gap: 14px; }
+.hist h3 { font-size: 13px; margin: 0 0 2px; font-weight: 600; }
+.hist .stats { color: var(--muted); font-size: 11px; margin: 0 0 4px; font-variant-numeric: tabular-nums; }
+details { margin-top: 10px; }
+summary { cursor: pointer; color: var(--text-secondary); font-size: 12px; }
+table { border-collapse: collapse; margin-top: 8px; font-size: 13px; }
+th, td { text-align: left; padding: 4px 14px 4px 0; border-bottom: 1px solid var(--grid); }
+td.num, th.num { text-align: right; font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 600; }
+#tooltip {
+  position: fixed; pointer-events: none; visibility: hidden; z-index: 10;
+  background: var(--surface-1); border: 1px solid var(--border); border-radius: 6px;
+  padding: 6px 9px; font-size: 12px; color: var(--text-primary);
+  box-shadow: 0 2px 8px rgba(0,0,0,0.15); white-space: nowrap;
+}
+#tooltip .tl { color: var(--muted); }
+#tooltip .row { font-variant-numeric: tabular-nums; }
+</style>
+</head>
+<body class="viz-root" id="trace-viewer">
+<main>
+<header>
+  <h1>Pipeline trace</h1>
+  <span class="meta">{{.Meta.Bench}} · {{.Meta.Config}} · {{.Meta.Scheme}}</span>
+  <span class="spacer"></span>
+  <button class="theme" id="themebtn" type="button">theme: auto</button>
+</header>
+
+<div class="tiles">
+{{range .Tiles}}  <div class="tile"><div class="v">{{.Value}}</div><div class="l">{{.Label}}</div></div>
+{{end}}</div>
+
+{{if .Occupancy}}
+<section class="card">
+  <h2>Pipeline occupancy</h2>
+  <p class="sub">Mean in-flight micro-ops (renamed, not yet committed or squashed) per time bin.</p>
+  {{template "linechart" .Occupancy}}
+  <details><summary>Data table</summary>
+    <table><thead><tr><th>cycle bin</th>{{range .Occupancy.Series}}<th class="num">{{.Name}}</th>{{end}}</tr></thead>
+    <tbody id="tbl-occ"></tbody></table>
+  </details>
+</section>
+{{end}}
+
+{{if .Hists}}
+<section class="card">
+  <h2>Stage-to-stage latency</h2>
+  <p class="sub">Cycles between pipeline stages, per micro-op (bucketed; scheme-inserted delays stretch the issue and writeback transitions).</p>
+  <div class="histgrid">
+  {{range .Hists}}
+    <div class="hist">
+      <h3>{{.Name}}</h3>
+      <p class="stats">{{.Count}} uops · mean {{printf "%.2f" .Mean}} · max {{.Max}}</p>
+      <svg viewBox="0 0 {{$.HistW}} {{$.HistH}}" role="img" aria-label="latency histogram {{.Name}}">
+        {{range .YTicks}}<line class="gridline" x1="42" x2="{{sub $.HistW 8}}" y1="{{.Pos}}" y2="{{.Pos}}"/><text class="ticklabel" x="36" y="{{add .Pos 4}}" text-anchor="end">{{.Label}}</text>
+        {{end}}
+        {{.Bars}}
+        {{range .XLabels}}<text class="ticklabel" x="{{.Pos}}" y="{{sub $.HistH 26}}" text-anchor="end" transform="rotate(-38 {{.Pos}} {{sub $.HistH 26}})">{{.Label}}</text>
+        {{end}}
+        <text x="{{div $.HistW 2}}" y="{{sub $.HistH 4}}" text-anchor="middle">latency (cycles)</text>
+      </svg>
+    </div>
+  {{end}}
+  </div>
+</section>
+{{end}}
+
+<section class="card">
+  <h2>Scheme-inserted delays</h2>
+  <p class="sub">Where the active scheme inserted its delays: Delay-on-Miss parks, InvisiSpec exposures, NDA withheld broadcasts, STT nop slots — events per time bin.</p>
+  {{if .Delays}}
+  {{template "linechart" .Delays}}
+  {{if gt (len .Delays.Series) 1}}
+  <ul class="legend">
+  {{range .Delays.Series}}<li><span class="swatch" style="background: var(--series-{{.Slot}})"></span>{{.Name}} ({{.Total}})</li>
+  {{end}}</ul>
+  {{end}}
+  <details><summary>Data table</summary>
+    <table><thead><tr><th>cycle bin</th>{{range .Delays.Series}}<th class="num">{{.Name}}</th>{{end}}</tr></thead>
+    <tbody id="tbl-delays"></tbody></table>
+  </details>
+  {{else}}
+  <p class="sub">{{.DelayNote}}</p>
+  {{end}}
+</section>
+
+{{if .Tables}}
+<section class="card">
+  <h2>Totals</h2>
+  {{range .Tables}}
+  <details open><summary>{{.Title}}</summary>
+    <table><thead><tr>{{range $i, $c := .Cols}}<th {{if $i}}class="num"{{end}}>{{$c}}</th>{{end}}</tr></thead>
+    <tbody>{{range .Rows}}<tr>{{range $i, $v := .}}<td {{if $i}}class="num"{{end}}>{{$v}}</td>{{end}}</tr>{{end}}</tbody></table>
+  </details>
+  {{end}}
+</section>
+{{end}}
+
+</main>
+<div id="tooltip"></div>
+<script>
+(function () {
+  var btn = document.getElementById('themebtn');
+  var modes = ['auto', 'dark', 'light'], mi = 0;
+  btn.addEventListener('click', function () {
+    mi = (mi + 1) % modes.length;
+    var m = modes[mi];
+    if (m === 'auto') document.documentElement.removeAttribute('data-theme');
+    else document.documentElement.setAttribute('data-theme', m);
+    btn.textContent = 'theme: ' + m;
+  });
+
+  var tip = document.getElementById('tooltip');
+  function showTip(html, ev) {
+    tip.innerHTML = html;
+    tip.style.visibility = 'visible';
+    var x = ev.clientX + 14, y = ev.clientY + 14;
+    var r = tip.getBoundingClientRect();
+    if (x + r.width > window.innerWidth - 8) x = ev.clientX - r.width - 10;
+    if (y + r.height > window.innerHeight - 8) y = ev.clientY - r.height - 10;
+    tip.style.left = x + 'px'; tip.style.top = y + 'px';
+  }
+  function hideTip() { tip.style.visibility = 'hidden'; }
+
+  // Per-mark tooltips (histogram bars).
+  document.addEventListener('mousemove', function (ev) {
+    var t = ev.target;
+    if (t && t.getAttribute && t.getAttribute('data-tip')) {
+      showTip(t.getAttribute('data-tip'), ev);
+    } else if (!t.closest || !t.closest('svg[data-chart]')) {
+      hideTip();
+    }
+  });
+
+  // Crosshair + tooltip on line charts; also fills their data tables.
+  document.querySelectorAll('svg[data-chart]').forEach(function (svg) {
+    var id = svg.getAttribute('data-chart');
+    var data = JSON.parse(document.getElementById('data-' + id).textContent);
+    var cross = svg.querySelector('.crosshair');
+    var tbody = document.getElementById('tbl-' + id);
+    if (tbody) {
+      var html = '';
+      for (var i = 0; i < data.cycles.length; i++) {
+        html += '<tr><td>' + data.cycles[i] + '</td>';
+        data.series.forEach(function (s) { html += '<td class="num">' + s.values[i] + '</td>'; });
+        html += '</tr>';
+      }
+      tbody.innerHTML = html;
+    }
+    svg.addEventListener('mousemove', function (ev) {
+      var pt = svg.createSVGPoint();
+      pt.x = ev.clientX; pt.y = ev.clientY;
+      var p = pt.matrixTransform(svg.getScreenCTM().inverse());
+      var n = data.cycles.length;
+      if (n < 2 || p.x < data.x0 || p.x > data.x1) { cross.style.visibility = 'hidden'; hideTip(); return; }
+      var f = (p.x - data.x0) / (data.x1 - data.x0);
+      var i = Math.min(n - 1, Math.max(0, Math.round(f * (n - 1))));
+      var cx = data.x0 + (data.x1 - data.x0) * i / (n - 1);
+      cross.setAttribute('x1', cx); cross.setAttribute('x2', cx);
+      cross.style.visibility = 'visible';
+      var html = '<span class="tl">cycle ' + data.cycles[i] + '</span>';
+      data.series.forEach(function (s) { html += '<div class="row">' + s.name + ': ' + s.values[i] + '</div>'; });
+      showTip(html, ev);
+    });
+    svg.addEventListener('mouseleave', function () { cross.style.visibility = 'hidden'; hideTip(); });
+  });
+})();
+</script>
+</body>
+</html>
+{{define "linechart"}}
+<svg viewBox="0 0 {{.W}} {{.H}}" role="img" data-chart="{{.ID}}">
+  {{range .YTicks}}<line class="gridline" x1="{{$.PlotX0}}" x2="{{$.PlotX1}}" y1="{{.Pos}}" y2="{{.Pos}}"/><text class="ticklabel" x="{{sub $.PlotX0 6}}" y="{{add .Pos 4}}" text-anchor="end">{{.Label}}</text>
+  {{end}}
+  <line class="axisline" x1="{{.PlotX0}}" x2="{{.PlotX1}}" y1="{{.PlotY1}}" y2="{{.PlotY1}}"/>
+  {{range .XTicks}}<text class="ticklabel" x="{{.Pos}}" y="{{add $.PlotY1 16}}" text-anchor="middle">{{.Label}}</text>
+  {{end}}
+  {{range .Series}}{{if .Area}}<path class="area s{{.Slot}}f" d="{{.Area}}"/>{{end}}<path class="line s{{.Slot}}" d="{{.Line}}"/>
+  {{end}}
+  <line class="crosshair" x1="0" x2="0" y1="{{.PlotY0}}" y2="{{.PlotY1}}"/>
+  <rect class="hitlayer" x="{{.PlotX0}}" y="{{.PlotY0}}" width="{{sub .PlotX1 .PlotX0}}" height="{{sub .PlotY1 .PlotY0}}"/>
+</svg>
+<script type="application/json" id="data-{{.ID}}">{{.Data}}</script>
+{{end}}`

@@ -43,6 +43,7 @@ package shadowbinding
 import (
 	"context"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/attack"
@@ -230,6 +231,40 @@ func RunBenchmark(cfg Config, kind Scheme, bench string, opts Options) (Run, err
 	}
 	return harness.RunOne(cfg, kind, p, opts)
 }
+
+// RunBenchmarkTraced is RunBenchmark with a per-cycle JSONL trace written
+// to w (meta line first, then one stage record per line — see
+// internal/trace). The recorder is observational: the returned Run is
+// identical to an untraced one.
+func RunBenchmarkTraced(cfg Config, kind Scheme, bench string, opts Options, w io.Writer) (Run, error) {
+	p, err := workloads.ByName(bench)
+	if err != nil {
+		return Run{}, err
+	}
+	rec, err := trace.NewRecorder(w, trace.Meta{
+		Bench:  bench,
+		Config: cfg.Name,
+		Scheme: kind.String(),
+		Warmup: opts.WarmupCycles,
+		Budget: opts.MeasureCycles,
+	})
+	if err != nil {
+		return Run{}, err
+	}
+	run, err := harness.RunOneRecorded(cfg, kind, p, opts, rec)
+	if ferr := rec.Flush(); err == nil && ferr != nil {
+		err = fmt.Errorf("shadowbinding: flush trace: %w", ferr)
+	}
+	return run, err
+}
+
+// The trace viewer (internal/trace): RenderTraceHTML renders a
+// -trace-out JSONL file as the self-contained viewer page; ServeTrace
+// serves it over HTTP, re-rendering the file on each request.
+var (
+	RenderTraceHTML = trace.RenderTraceFile
+	ServeTrace      = trace.ServeTrace
+)
 
 // RunMatrix sweeps (configs × schemes × benches) on the parallel
 // evaluation engine: Options.Parallelism worker goroutines (zero means all
