@@ -156,7 +156,7 @@ func main() {
 	}
 
 	st := sess.Stats()
-	if common.CacheDir != "" {
+	if common.CacheEnabled() {
 		cliutil.PrintCacheSummary(tool, st)
 	}
 	common.EmitBench(tool, "evaluation-sweep", st.Simulated, st.SimCycles, sweepWall, opts.Parallelism)

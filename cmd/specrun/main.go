@@ -136,7 +136,7 @@ func sweep(ctx context.Context, cfg sb.Config, prof sb.Benchmark, opts sb.Option
 // whatever the session actually simulated.
 func finish(sess *sb.Session, common *cliutil.Flags, label string, start time.Time, workers int) {
 	st := sess.Stats()
-	if common.CacheDir != "" {
+	if common.CacheEnabled() {
 		cliutil.PrintCacheSummary(tool, st)
 	}
 	common.EmitBench(tool, label, st.Simulated, st.SimCycles, time.Since(start), workers)

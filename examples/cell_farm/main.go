@@ -1,0 +1,89 @@
+// Cell farm: stand up an in-process shadowbindingd, point a Session at
+// it through the tiered cache (memory → farm), and sweep a small matrix
+// twice. The first sweep's cells are simulated by the farm — the client
+// session itself simulates nothing. The second sweep runs in a fresh
+// session with cold local state, and the warm farm answers every cell
+// without simulating again: the whole evaluation has become a lookup.
+// This is exactly what `shadowbinding -remote URL -remote-compute` does
+// against a real daemon.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	sb "repro"
+)
+
+func main() {
+	// A real deployment runs `shadowbindingd -addr ... -cache ...`; an
+	// example gets the same service in-process on an ephemeral port.
+	farm := sb.NewFarmServer(sb.FarmServerConfig{Version: sb.SimVersion})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: farm.Handler()}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("farm listening on %s\n\n", url)
+
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles = 2_000
+	opts.MeasureCycles = 8_000
+
+	benches := []sb.Benchmark{}
+	for _, name := range []string{"505.mcf", "538.imagick"} {
+		p, err := sb.BenchmarkByName(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benches = append(benches, p)
+	}
+	spec := sb.MatrixSpec{
+		Name:    "cell-farm",
+		Configs: []sb.Config{sb.MegaConfig()},
+		Benches: benches,
+	}
+
+	sweep := func(label string) {
+		// Each sweep is a fresh session with a cold local cache — only
+		// the farm persists between them. Compute mode delegates misses
+		// to the farm instead of simulating locally.
+		remote := sb.NewHTTPCache(url, sb.HTTPCacheOptions{Compute: true})
+		sess := sb.NewSession(sb.SessionConfig{
+			Options: opts,
+			Cache:   sb.NewTieredCache(sb.NewMemoryCache(0), remote),
+		})
+		m, err := sess.Matrix(context.Background(), spec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := sess.Stats()
+		fmt.Printf("%s: %d cells, %d simulated locally (farm served the rest)\n",
+			label, st.Cells, st.Simulated)
+		cfg := sb.MegaConfig().Name
+		for _, k := range sb.Schemes() {
+			fmt.Printf("  %-12s mean IPC %.4f", k, m.MeanIPC(cfg, k))
+			if k != sb.Baseline {
+				fmt.Printf("  (%.1f%% of baseline on %s)",
+					100*m.BenchNormIPC(cfg, k, benches[0].Name), benches[0].Name)
+			}
+			fmt.Println()
+		}
+	}
+
+	sweep("cold sweep")
+	fs := farm.Stats()
+	fmt.Printf("\nfarm after cold sweep: %d computes, %d simulated, %d coalesced\n\n",
+		fs.Computes, fs.EngineSimulated, fs.Coalesced)
+
+	sweep("warm sweep")
+	fs2 := farm.Stats()
+	fmt.Printf("\nfarm after warm sweep: %d computes, %d simulated (+%d — warm cells are lookups)\n",
+		fs2.Computes, fs2.EngineSimulated, fs2.EngineSimulated-fs.EngineSimulated)
+}

@@ -27,6 +27,12 @@ type Flags struct {
 	CacheDir    string
 	CPUProfile  string
 	MemProfile  string
+	// Remote is the -remote farm base URL; when set, OpenCache layers a
+	// farm HTTPCache as the slowest tier of the cell cache stack.
+	Remote string
+	// RemoteCompute is -remote-compute: ask the farm to simulate missing
+	// cells (compute-on-miss) instead of simulating them locally.
+	RemoteCompute bool
 	// TraceOut is the -trace-out path (registered by RegisterTrace on the
 	// cmds that run individual cells).
 	TraceOut string
@@ -45,6 +51,10 @@ func Register(fs *flag.FlagSet, cacheHelp string) *Flags {
 		cacheHelp = "cell cache directory: simulation results are content-addressed and persisted here, so a warm re-run simulates nothing"
 	}
 	fs.StringVar(&f.CacheDir, "cache", "", cacheHelp)
+	fs.StringVar(&f.Remote, "remote", "",
+		"shadowbindingd base URL (e.g. http://127.0.0.1:8484): layer the farm's shared cell store under the local cache stack; any network failure degrades to local simulation")
+	fs.BoolVar(&f.RemoteCompute, "remote-compute", false,
+		"with -remote: delegate missing cells to the farm (compute-on-miss, fleet-wide single-flight, worker fan-out) instead of simulating locally")
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a CPU profile to this path (go tool pprof)")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write an end-of-run heap profile to this path (go tool pprof)")
 	return f
@@ -160,14 +170,36 @@ func (f *Flags) Schemes(withBaseline bool) ([]sb.Scheme, error) {
 	return schemes, nil
 }
 
-// OpenCache opens the -cache stack: nil without -cache (a Session then
-// uses its private in-memory LRU), or the in-memory LRU over the on-disk
-// JSON store rooted at the flag's directory.
+// OpenCache opens the cell cache stack selected by -cache and -remote,
+// layered fastest-first: in-memory LRU, then the on-disk JSON store
+// (-cache), then the farm client (-remote). Without either flag it
+// returns nil and a Session uses its private in-memory LRU.
 func (f *Flags) OpenCache() (sb.CellCache, error) {
-	if f.CacheDir == "" {
+	if f.RemoteCompute && f.Remote == "" {
+		return nil, fmt.Errorf("cliutil: -remote-compute needs -remote")
+	}
+	if f.CacheDir == "" && f.Remote == "" {
 		return nil, nil
 	}
-	return sb.OpenCellCache(f.CacheDir)
+	layers := []sb.CellCache{sb.NewMemoryCache(0)}
+	if f.CacheDir != "" {
+		disk, err := sb.NewDiskCache(f.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, disk)
+	}
+	if f.Remote != "" {
+		layers = append(layers, sb.NewHTTPCache(f.Remote, sb.HTTPCacheOptions{Compute: f.RemoteCompute}))
+	}
+	return sb.NewTieredCache(layers...), nil
+}
+
+// CacheEnabled reports whether any persistent or shared cache layer was
+// selected — the condition under which the cmds print the cache summary
+// line (the one the CI cache and farm smoke steps assert on).
+func (f *Flags) CacheEnabled() bool {
+	return f.CacheDir != "" || f.Remote != ""
 }
 
 // SignalContext returns a context cancelled by SIGINT, so Ctrl-C stops

@@ -1,0 +1,240 @@
+package farm
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+	"repro/internal/workloads"
+)
+
+// testOpts keeps farm-test cells cheap: one cell is ~2000 simulated
+// cycles, so even the soak test's whole unique set costs milliseconds.
+func testOpts() harness.Options {
+	o := harness.DefaultOptions()
+	o.WarmupCycles = 500
+	o.MeasureCycles = 1500
+	return o
+}
+
+func testJob(t *testing.T, bench string, kind core.SchemeKind) harness.CellJob {
+	t.Helper()
+	p, err := workloads.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return harness.CellJob{Config: core.SmallConfig(), Scheme: kind, Bench: p}
+}
+
+// keyOf derives the client-side content-addressed key of a job.
+func keyOf(job harness.CellJob, opts harness.Options) string {
+	return harness.NewEngine(nil, "").Key(job, opts)
+}
+
+// refRun simulates a job locally — the ground truth farm-served results
+// must match byte for byte.
+func refRun(t *testing.T, job harness.CellJob, opts harness.Options) harness.Run {
+	t.Helper()
+	r, err := harness.RunOne(job.Config, job.Scheme, job.Bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func newTestFarm(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := NewServer(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// fastClient returns an HTTPCache tuned for tests: short backoff, no
+// breaker (tests that exercise the breaker configure it explicitly).
+func fastClient(url string, compute bool) *HTTPCache {
+	return NewHTTPCache(url, HTTPCacheOptions{
+		Compute:      compute,
+		Retries:      1,
+		Backoff:      time.Millisecond,
+		BreakerTrips: -1,
+	})
+}
+
+// TestFarmGetPutRoundTrip: the remote cache path — a PUT cell comes back
+// byte-identical on GET, an unknown key is a clean miss, and the counters
+// account for both.
+func TestFarmGetPutRoundTrip(t *testing.T) {
+	srv, ts := newTestFarm(t, ServerConfig{})
+	opts := testOpts()
+	job := testJob(t, "505.mcf", core.KindBaseline)
+	key := keyOf(job, opts)
+	ref := refRun(t, job, opts)
+
+	c := fastClient(ts.URL, false)
+	if _, ok, err := c.Get(key); ok || err != nil {
+		t.Fatalf("empty farm: ok=%v err=%v", ok, err)
+	}
+	if err := c.Put(key, ref); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := c.Get(key)
+	if err != nil || !ok {
+		t.Fatalf("get after put: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("run changed across the wire:\ngot  %+v\nwant %+v", got, ref)
+	}
+	st := srv.Stats()
+	if st.Gets != 2 || st.GetHits != 1 || st.Puts != 1 {
+		t.Fatalf("counters: %+v", st)
+	}
+}
+
+// TestFarmPutRejectsBadEnvelopes: the server's write path must validate —
+// schema, key identity, scheme-name resolution — before storing anything.
+func TestFarmPutRejectsBadEnvelopes(t *testing.T) {
+	srv, ts := newTestFarm(t, ServerConfig{})
+	opts := testOpts()
+	job := testJob(t, "505.mcf", core.KindBaseline)
+	key := keyOf(job, opts)
+	ref := refRun(t, job, opts)
+
+	put := func(t *testing.T, key string, env CellEnvelope) int {
+		t.Helper()
+		body, err := json.Marshal(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequest(http.MethodPut, ts.URL+CellsPath+"/"+key, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainClose(resp.Body)
+		return resp.StatusCode
+	}
+
+	good := newEnvelope(key, ref, false)
+	badSchema := good
+	badSchema.Schema = "bogus/v9"
+	badScheme := good
+	badScheme.Scheme = "no-such-scheme"
+	mismatched := newEnvelope("0000000000000000", ref, false)
+
+	if code := put(t, key, badSchema); code != http.StatusBadRequest {
+		t.Fatalf("bad schema accepted: %d", code)
+	}
+	if code := put(t, key, badScheme); code != http.StatusBadRequest {
+		t.Fatalf("bad scheme accepted: %d", code)
+	}
+	if code := put(t, key, mismatched); code != http.StatusBadRequest {
+		t.Fatalf("mismatched key accepted: %d", code)
+	}
+	if st := srv.Stats(); st.Puts != 0 {
+		t.Fatalf("rejected writes counted: %+v", st)
+	}
+	if code := put(t, key, good); code != http.StatusNoContent {
+		t.Fatalf("good envelope rejected: %d", code)
+	}
+}
+
+// TestFarmComputeEndToEnd: a compute client's cold request simulates on
+// the farm and returns byte-identical results; the repeat is served from
+// the farm's cache without simulating again, and plain GETs hit too.
+func TestFarmComputeEndToEnd(t *testing.T) {
+	srv, ts := newTestFarm(t, ServerConfig{})
+	opts := testOpts()
+	job := testJob(t, "505.mcf", core.KindSTTRename)
+	key := keyOf(job, opts)
+	ref := refRun(t, job, opts)
+
+	c := fastClient(ts.URL, true)
+	got, ok, err := c.ResolveCell(key, job, opts)
+	if err != nil || !ok {
+		t.Fatalf("compute: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatalf("farm-computed run diverges from local:\ngot  %+v\nwant %+v", got, ref)
+	}
+	if st := srv.Stats(); st.EngineSimulated != 1 {
+		t.Fatalf("farm did not simulate exactly once: %+v", st)
+	}
+	if _, ok, err := c.ResolveCell(key, job, opts); !ok || err != nil {
+		t.Fatalf("warm compute: ok=%v err=%v", ok, err)
+	}
+	if got2, ok, _ := c.Get(key); !ok || !reflect.DeepEqual(got2, ref) {
+		t.Fatal("computed cell not readable via GET")
+	}
+	st := srv.Stats()
+	if st.EngineSimulated != 1 || st.EngineHits != 1 {
+		t.Fatalf("warm compute re-simulated: %+v", st)
+	}
+}
+
+// TestFarmComputeRejectsBadJobs: garbage and incompatible jobs are 400s,
+// never crashes or simulations.
+func TestFarmComputeRejectsBadJobs(t *testing.T) {
+	srv, ts := newTestFarm(t, ServerConfig{})
+
+	post := func(body string) int {
+		resp, err := http.Post(ts.URL+CellsPath, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		drainClose(resp.Body)
+		return resp.StatusCode
+	}
+	if code := post("{not json"); code != http.StatusBadRequest {
+		t.Fatalf("garbage accepted: %d", code)
+	}
+	wire := harness.WireJob(testJob(t, "505.mcf", core.KindBaseline), testOpts())
+	wire.Scheme = "no-such-scheme"
+	body, err := json.Marshal(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code := post(string(body)); code != http.StatusBadRequest {
+		t.Fatalf("unknown scheme accepted: %d", code)
+	}
+	if st := srv.Stats(); st.EngineSimulated != 0 {
+		t.Fatalf("bad jobs reached the simulator: %+v", st)
+	}
+}
+
+// TestFarmStatsEndpoint: the counters round-trip over HTTP.
+func TestFarmStatsEndpoint(t *testing.T) {
+	_, ts := newTestFarm(t, ServerConfig{})
+	opts := testOpts()
+	job := testJob(t, "505.mcf", core.KindBaseline)
+	c := fastClient(ts.URL, true)
+	if _, ok, err := c.ResolveCell(keyOf(job, opts), job, opts); !ok || err != nil {
+		t.Fatalf("compute: ok=%v err=%v", ok, err)
+	}
+
+	resp, err := http.Get(ts.URL + StatsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Computes != 1 || st.EngineSimulated != 1 || st.SimCycles == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.InFlight != 0 {
+		t.Fatalf("in-flight not drained: %+v", st)
+	}
+}

@@ -1,0 +1,83 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// The worker pool. A coordinator configured with worker URLs shards cold
+// compute requests across them by key hash: every worker owns a stable
+// slice of the key space, so a full-matrix fan-out distributes evenly and
+// repeated requests for one cell land on the worker whose cache already
+// holds it. Workers are plain shadowbindingd processes without -workers of
+// their own (one forward hop — a worker never re-forwards).
+
+type workerPool struct {
+	urls    []string
+	client  *http.Client
+	timeout time.Duration
+}
+
+func newWorkerPool(urls []string, timeout time.Duration) *workerPool {
+	trimmed := make([]string, len(urls))
+	for i, u := range urls {
+		trimmed[i] = strings.TrimRight(u, "/")
+	}
+	return &workerPool{urls: trimmed, client: &http.Client{}, timeout: timeout}
+}
+
+// pick shards key onto one worker by FNV-1a hash.
+func (p *workerPool) pick(key string) string {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return p.urls[int(h.Sum32()%uint32(len(p.urls)))]
+}
+
+// compute forwards one job to its sharded worker and returns the worker's
+// result (and the worker URL, for logging). Any failure — transport, bad
+// status, corrupt or mismatched envelope — is returned for the caller to
+// fall back on; the pool never retries or re-shards, because the
+// coordinator's local compute path is the universal fallback.
+func (p *workerPool) compute(key string, wire harness.CellJobWire) (harness.CellResult, string, error) {
+	worker := p.pick(key)
+	env, err := postCompute(p.client, worker, key, wire, p.timeout)
+	if err != nil {
+		return harness.CellResult{}, worker, err
+	}
+	return harness.CellResult{Key: key, Run: env.Run, Cached: env.Cached}, worker, nil
+}
+
+// postCompute POSTs one job wire form to base's compute endpoint and
+// decodes the envelope, validating it against the locally derived key —
+// a worker built from different sources derives a different key, and that
+// skew must surface as an error, not as a silently adopted result.
+func postCompute(client *http.Client, base, key string, wire harness.CellJobWire, timeout time.Duration) (CellEnvelope, error) {
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return CellEnvelope{}, fmt.Errorf("farm: marshal job: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+CellsPath, bytes.NewReader(body))
+	if err != nil {
+		return CellEnvelope{}, fmt.Errorf("farm: build compute request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return CellEnvelope{}, fmt.Errorf("farm: compute %s: %w", key, err)
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return CellEnvelope{}, fmt.Errorf("farm: compute %s: %s", key, resp.Status)
+	}
+	return decodeEnvelope(resp.Body, key)
+}

@@ -1,0 +1,138 @@
+package farm
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+// TestWorkerFanOut: a coordinator with two workers must shard compute
+// across both by key hash and never simulate locally itself, while the
+// fleet as a whole still simulates each unique cell exactly once —
+// including under concurrent duplicate requests.
+func TestWorkerFanOut(t *testing.T) {
+	w1, ts1 := newTestFarm(t, ServerConfig{})
+	w2, ts2 := newTestFarm(t, ServerConfig{})
+	coord, tsc := newTestFarm(t, ServerConfig{Workers: []string{ts1.URL, ts2.URL}})
+
+	opts := testOpts()
+	benches := []string{"505.mcf", "502.gcc", "520.omnetpp", "541.leela"}
+	kinds := []core.SchemeKind{
+		core.KindBaseline, core.KindSTTRename, core.KindSTTIssue, core.KindNDA,
+	}
+	var jobs []harness.CellJob
+	var keys []string
+	var refs []harness.Run
+	for _, b := range benches {
+		for _, k := range kinds {
+			j := testJob(t, b, k)
+			jobs = append(jobs, j)
+			keys = append(keys, keyOf(j, opts))
+			refs = append(refs, refRun(t, j, opts))
+		}
+	}
+	unique := len(jobs) // 16
+
+	const dup = 4 // concurrent duplicate clients per cell
+	var wg sync.WaitGroup
+	errs := make(chan error, unique*dup)
+	for d := 0; d < dup; d++ {
+		for i := range jobs {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c := fastClient(tsc.URL, true)
+				run, ok, err := c.ResolveCell(keys[i], jobs[i], opts)
+				if err != nil || !ok {
+					errs <- fmt.Errorf("cell %s: ok=%v err=%v", keys[i], ok, err)
+					return
+				}
+				if !reflect.DeepEqual(run, refs[i]) {
+					errs <- fmt.Errorf("cell %s: worker result diverges from local", keys[i])
+				}
+			}()
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	cs, s1, s2 := coord.Stats(), w1.Stats(), w2.Stats()
+	if cs.EngineSimulated != 0 {
+		t.Fatalf("coordinator simulated locally despite healthy workers: %+v", cs)
+	}
+	if cs.Forwarded != int64(unique) {
+		t.Fatalf("forwarded %d compute requests, want %d (one per unique cell): %+v",
+			cs.Forwarded, unique, cs)
+	}
+	if s1.EngineSimulated+s2.EngineSimulated != int64(unique) {
+		t.Fatalf("fleet simulated %d+%d cells, want %d total",
+			s1.EngineSimulated, s2.EngineSimulated, unique)
+	}
+	// FNV sharding over 16 distinct keys must actually use both workers.
+	if s1.EngineSimulated == 0 || s2.EngineSimulated == 0 {
+		t.Fatalf("fan-out degenerate: worker split %d/%d",
+			s1.EngineSimulated, s2.EngineSimulated)
+	}
+	if cs.WorkerErrors != 0 {
+		t.Fatalf("unexpected worker errors: %+v", cs)
+	}
+}
+
+// TestWorkerFailureFallsBackLocal: a dead worker must cost a warning and
+// a local simulation on the coordinator — never a failed request.
+func TestWorkerFailureFallsBackLocal(t *testing.T) {
+	coord, tsc := newTestFarm(t, ServerConfig{
+		Workers: []string{"http://127.0.0.1:1"}, // reserved port: dial always refused
+	})
+	opts := testOpts()
+	job := testJob(t, "505.mcf", core.KindSTTIssue)
+	key := keyOf(job, opts)
+	ref := refRun(t, job, opts)
+
+	c := fastClient(tsc.URL, true)
+	run, ok, err := c.ResolveCell(key, job, opts)
+	if err != nil || !ok {
+		t.Fatalf("compute with dead worker: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(run, ref) {
+		t.Fatalf("fallback run diverges:\ngot  %+v\nwant %+v", run, ref)
+	}
+	st := coord.Stats()
+	if st.WorkerErrors != 1 || st.Forwarded != 0 {
+		t.Fatalf("worker failure not accounted: %+v", st)
+	}
+	if st.EngineSimulated != 1 {
+		t.Fatalf("coordinator did not fall back to local simulation: %+v", st)
+	}
+}
+
+// TestPoolSharding: pick is deterministic and uses every worker across
+// enough keys — the property the fan-out test observes end to end.
+func TestPoolSharding(t *testing.T) {
+	p := newWorkerPool([]string{"http://a/", "http://b", "http://c"}, 0)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		key := fmt.Sprintf("%016x", i*2654435761)
+		u := p.pick(key)
+		if u != p.pick(key) {
+			t.Fatalf("pick not deterministic for %s", key)
+		}
+		seen[u] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("64 keys landed on %d of 3 workers: %v", len(seen), seen)
+	}
+	for u := range seen {
+		if u[len(u)-1] == '/' {
+			t.Fatalf("worker URL kept trailing slash: %q", u)
+		}
+	}
+}

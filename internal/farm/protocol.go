@@ -1,0 +1,123 @@
+// Package farm is the networked cell-farm layer over the content-addressed
+// cell engine: an HTTP service (Server, behind cmd/shadowbindingd) that
+// stores and computes simulation cells, a CellCache client (HTTPCache) that
+// gives any process remote caching — and optionally remote *computation* —
+// through the existing harness.CellCache interface, and a worker pool that
+// shards cold compute requests across processes.
+//
+// The protocol is deliberately small and cache-shaped:
+//
+//	GET  /v1/cells/{key}   remote cache read: 200 cell envelope | 404 miss
+//	PUT  /v1/cells/{key}   remote cache write: 204 | 400 bad envelope
+//	POST /v1/cells         compute-on-miss: body is a harness.CellJobWire;
+//	                       the server resolves it through its own engine
+//	                       (cache first, fleet-wide single-flight, then
+//	                       simulation or worker forward) and returns the
+//	                       cell envelope
+//	GET  /v1/stats         farm counters as JSON (Stats)
+//
+// Keys are the engine's content-addressed cell fingerprints and are opaque
+// to the server's store; a client and server built from the same source
+// derive identical keys for identical jobs, because the wire form carries
+// exactly the fingerprinted fields. Every failure on the client side
+// degrades to a cache miss — the harness CellCache contract — so a flaky
+// or absent farm never fails a run, it only costs local re-simulation.
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/harness"
+)
+
+const (
+	// Schema identifies the wire envelope layout.
+	Schema = "shadowbinding-farm/v1"
+	// CellsPath is the cell collection: POST computes a cell, GET/PUT on
+	// CellsPath/{key} read and write the store.
+	CellsPath = "/v1/cells"
+	// StatsPath serves the farm's counter snapshot.
+	StatsPath = "/v1/stats"
+
+	// maxBodyBytes bounds request and response bodies; cell envelopes and
+	// job wire forms are a few KiB, so 1 MiB is generous headroom, not a
+	// constraint.
+	maxBodyBytes = 1 << 20
+)
+
+// CellEnvelope is one cell result on the wire — the farm counterpart of
+// the disk cache's on-disk entry. The scheme's registered name rides along
+// for the same reason: a receiver revalidates it against its own registry,
+// so an entry from a binary with a renumbered or missing scheme is a miss
+// (or a rejected write), never a silently mislabeled result.
+type CellEnvelope struct {
+	Schema string      `json:"schema"`
+	Key    string      `json:"key"`
+	Scheme string      `json:"scheme"`
+	Run    harness.Run `json:"run"`
+	// Cached reports, on compute responses, that the farm served the cell
+	// without simulating (its cache hit, or the request coalesced onto an
+	// in-flight resolution).
+	Cached bool `json:"cached,omitempty"`
+}
+
+// newEnvelope wraps one run for the wire.
+func newEnvelope(key string, r harness.Run, cached bool) CellEnvelope {
+	return CellEnvelope{Schema: Schema, Key: key, Scheme: r.Scheme.String(), Run: r, Cached: cached}
+}
+
+// validate checks an envelope received for wantKey: schema, key identity,
+// and scheme-name revalidation against this process's registry.
+func (e CellEnvelope) validate(wantKey string) error {
+	if e.Schema != Schema {
+		return fmt.Errorf("farm: envelope schema %q, want %q", e.Schema, Schema)
+	}
+	if wantKey != "" && e.Key != wantKey {
+		return fmt.Errorf("farm: envelope key %q does not match requested %q (version skew?)", e.Key, wantKey)
+	}
+	kind, ok := core.SchemeKindByName(e.Scheme)
+	if !ok || kind != e.Run.Scheme {
+		return fmt.Errorf("farm: envelope scheme %q does not resolve to the run's kind", e.Scheme)
+	}
+	return nil
+}
+
+// decodeEnvelope reads and validates one envelope from r.
+func decodeEnvelope(r io.Reader, wantKey string) (CellEnvelope, error) {
+	var env CellEnvelope
+	if err := json.NewDecoder(io.LimitReader(r, maxBodyBytes)).Decode(&env); err != nil {
+		return CellEnvelope{}, fmt.Errorf("farm: decode cell envelope: %w", err)
+	}
+	if err := env.validate(wantKey); err != nil {
+		return CellEnvelope{}, err
+	}
+	return env, nil
+}
+
+// Stats is the farm server's counter snapshot, served on StatsPath. The
+// Engine* fields are the embedded cell engine's accounting: local cache
+// hits and simulations behind the compute endpoint (forwarded computes are
+// counted by the worker that ran them).
+type Stats struct {
+	Gets            int64  `json:"gets"`              // GET requests
+	GetHits         int64  `json:"get_hits"`          // GETs served from the store
+	Puts            int64  `json:"puts"`              // accepted PUT writes
+	Computes        int64  `json:"computes"`          // POST compute requests
+	Coalesced       int64  `json:"coalesced"`         // computes that joined an in-flight resolution
+	Forwarded       int64  `json:"forwarded"`         // computes served by a worker
+	WorkerErrors    int64  `json:"worker_errors"`     // worker failures that fell back to local compute
+	InFlight        int64  `json:"in_flight"`         // compute resolutions currently running
+	EngineCells     int64  `json:"engine_cells"`      // cells resolved by the local engine
+	EngineHits      int64  `json:"engine_hits"`       // ... served from the local cache
+	EngineSimulated int64  `json:"engine_simulated"`  // ... simulated locally
+	SimCycles       uint64 `json:"engine_sim_cycles"` // simulated cycles executed locally
+}
+
+// httpError writes status with a plain-text reason.
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), status)
+}

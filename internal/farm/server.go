@@ -1,0 +1,328 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/harness"
+)
+
+// ServerConfig parameterizes NewServer. The zero value is usable: private
+// in-memory store, no workers, local simulation bounded to all CPUs,
+// discarded logs.
+type ServerConfig struct {
+	// Cache backs GET/PUT and the compute engine; nil gives the server a
+	// private in-memory LRU (use harness.OpenCellCache(dir) to persist).
+	Cache harness.CellCache
+	// Workers lists worker base URLs ("http://host:port"); when non-empty,
+	// cold compute requests are sharded across them by key hash, falling
+	// back to local simulation when the picked worker fails.
+	Workers []string
+	// Parallelism bounds concurrent local simulations (zero: all CPUs).
+	// Cache hits and coalesced waiters are never bounded by it.
+	Parallelism int
+	// WorkerTimeout bounds one forwarded compute request (zero: 5m).
+	WorkerTimeout time.Duration
+	// Version overrides the engine's fingerprint version stamp (tests).
+	Version string
+	// Logger receives structured request and lifecycle logs (nil: discard).
+	Logger *slog.Logger
+}
+
+// Server is the farm's HTTP service: a remote CellCache on GET/PUT, a
+// compute service on POST, and a stats endpoint. Duplicate in-flight
+// compute requests coalesce fleet-wide onto one resolution — the server's
+// flight map covers the forwarded path, the engine's single-flight covers
+// the local one — so a thundering herd of identical requests costs exactly
+// one simulation.
+type Server struct {
+	cache  harness.CellCache
+	engine *harness.Engine
+	pool   *workerPool
+	log    *slog.Logger
+	sem    chan struct{} // bounds concurrent local simulations
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	gets, getHits, puts   atomic.Int64
+	computes, coalesced   atomic.Int64
+	forwarded, workerErrs atomic.Int64
+	inFlight              atomic.Int64
+}
+
+// flight is one in-progress compute resolution; concurrent requests for
+// the same key wait on done and share res/err.
+type flight struct {
+	done chan struct{}
+	res  harness.CellResult
+	err  error
+}
+
+// NewServer builds a farm server over cfg.
+func NewServer(cfg ServerConfig) *Server {
+	cache := cfg.Cache
+	if cache == nil {
+		cache = harness.NewMemoryCache(0)
+	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
+	workers := cfg.Parallelism
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	s := &Server{
+		cache:   cache,
+		engine:  harness.NewEngine(cache, cfg.Version),
+		log:     logger,
+		sem:     make(chan struct{}, workers),
+		flights: make(map[string]*flight),
+	}
+	if len(cfg.Workers) > 0 {
+		timeout := cfg.WorkerTimeout
+		if timeout <= 0 {
+			timeout = 5 * time.Minute
+		}
+		s.pool = newWorkerPool(cfg.Workers, timeout)
+	}
+	return s
+}
+
+// Stats snapshots the farm's counters.
+func (s *Server) Stats() Stats {
+	es := s.engine.Stats()
+	return Stats{
+		Gets:            s.gets.Load(),
+		GetHits:         s.getHits.Load(),
+		Puts:            s.puts.Load(),
+		Computes:        s.computes.Load(),
+		Coalesced:       s.coalesced.Load(),
+		Forwarded:       s.forwarded.Load(),
+		WorkerErrors:    s.workerErrs.Load(),
+		InFlight:        s.inFlight.Load(),
+		EngineCells:     int64(es.Cells),
+		EngineHits:      int64(es.Hits),
+		EngineSimulated: int64(es.Simulated),
+		SimCycles:       es.SimCycles,
+	}
+}
+
+// Handler returns the farm's routed handler with request logging attached.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+CellsPath+"/{key}", s.handleGet)
+	mux.HandleFunc("PUT "+CellsPath+"/{key}", s.handlePut)
+	mux.HandleFunc("POST "+CellsPath, s.handleCompute)
+	mux.HandleFunc("GET "+StatsPath, s.handleStats)
+	return s.logged(mux)
+}
+
+// logged wraps h with one structured log line per request.
+func (s *Server) logged(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
+		h.ServeHTTP(lw, r)
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", lw.status,
+			"dur_ms", time.Since(start).Milliseconds(),
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+// loggingWriter captures the response status for the request log.
+type loggingWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *loggingWriter) WriteHeader(status int) {
+	w.status = status
+	w.ResponseWriter.WriteHeader(status)
+}
+
+// handleGet serves one cell from the store: the remote cache read.
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	s.gets.Add(1)
+	key := r.PathValue("key")
+	run, ok, err := s.cache.Get(key)
+	if err != nil {
+		s.log.Warn("cache read failed", "key", key, "err", err)
+		httpError(w, http.StatusInternalServerError, "cache read: %v", err)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "no cell %s", key)
+		return
+	}
+	s.getHits.Add(1)
+	s.writeEnvelope(w, newEnvelope(key, run, true))
+}
+
+// handlePut stores one cell: the remote cache write. A store failure is a
+// 500 — the client treats it like any other cache-write failure (warn and
+// continue), but the error is never swallowed here.
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	env, err := decodeEnvelope(http.MaxBytesReader(w, r.Body, maxBodyBytes), key)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.cache.Put(key, env.Run); err != nil {
+		s.log.Warn("cache write failed", "key", key, "err", err)
+		httpError(w, http.StatusInternalServerError, "cache write: %v", err)
+		return
+	}
+	s.puts.Add(1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCompute resolves a full job: cache, then single-flight worker
+// forward or local simulation.
+func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
+	s.computes.Add(1)
+	var wire harness.CellJobWire
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&wire); err != nil {
+		httpError(w, http.StatusBadRequest, "farm: decode job: %v", err)
+		return
+	}
+	job, opts, err := wire.Resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Route harness warnings (cache read/write failures, progress) into
+	// the structured log instead of dropping them.
+	opts.Progress = func(format string, args ...any) {
+		s.log.Debug("engine", "msg", fmt.Sprintf(format, args...))
+	}
+	key := s.engine.Key(job, opts)
+
+	s.inFlight.Add(1)
+	res, coalesced, err := s.resolveCompute(key, job, opts, wire)
+	s.inFlight.Add(-1)
+	if err != nil {
+		s.log.Warn("compute failed", "key", key, "cell", cellName(job), "err", err)
+		httpError(w, http.StatusInternalServerError, "compute %s: %v", key, err)
+		return
+	}
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+	s.log.Info("compute",
+		"key", key,
+		"cell", cellName(job),
+		"cached", res.Cached,
+		"coalesced", coalesced,
+		"cycles", res.Run.TotalCycles,
+	)
+	s.writeEnvelope(w, newEnvelope(key, res.Run, res.Cached))
+}
+
+// cellName renders a job as the bench@config@scheme form the cmds use.
+func cellName(job harness.CellJob) string {
+	return fmt.Sprintf("%s@%s@%s", job.Bench.Name, job.Config.Name, job.Scheme)
+}
+
+// resolveCompute coalesces duplicate in-flight requests for one key onto a
+// single resolution (worker forward or local engine). If a holder fails,
+// one waiter claims the key and retries — matching the engine's own
+// single-flight semantics, so a transient failure never wedges a key.
+func (s *Server) resolveCompute(key string, job harness.CellJob, opts harness.Options, wire harness.CellJobWire) (harness.CellResult, bool, error) {
+	for {
+		s.mu.Lock()
+		if f, busy := s.flights[key]; busy {
+			s.mu.Unlock()
+			<-f.done
+			if f.err != nil {
+				continue // the holder failed; claim the key and retry
+			}
+			res := f.res
+			res.Cached = true // coalesced onto the in-flight resolution
+			return res, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		s.flights[key] = f
+		s.mu.Unlock()
+
+		f.res, f.err = s.computeCell(key, job, opts, wire)
+
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(f.done)
+		return f.res, false, f.err
+	}
+}
+
+// computeCell resolves one cell: local cache, then the sharded worker (if
+// any), then bounded local simulation. A worker failure degrades to local
+// compute — the farm's contract mirrors the CellCache one: failures cost
+// time, never the run.
+func (s *Server) computeCell(key string, job harness.CellJob, opts harness.Options, wire harness.CellJobWire) (harness.CellResult, error) {
+	if s.pool == nil {
+		s.sem <- struct{}{}
+		defer func() { <-s.sem }()
+		return s.engine.Cell(job, opts)
+	}
+
+	// With workers configured, consult the local store before forwarding so
+	// a warm coordinator never costs a worker round-trip.
+	if run, ok, err := s.cache.Get(key); ok {
+		return harness.CellResult{Key: key, Run: run, Cached: true}, nil
+	} else if err != nil {
+		s.log.Warn("cache read failed", "key", key, "err", err)
+	}
+	res, worker, err := s.pool.compute(key, wire)
+	if err == nil {
+		s.forwarded.Add(1)
+		// Adopt the worker's result so subsequent requests hit locally.
+		if perr := s.cache.Put(key, res.Run); perr != nil {
+			s.log.Warn("cache write failed", "key", key, "err", perr)
+		}
+		s.log.Info("forwarded", "key", key, "worker", worker, "cached", res.Cached)
+		return res, nil
+	}
+	s.workerErrs.Add(1)
+	s.log.Warn("worker compute failed; falling back to local", "key", key, "worker", worker, "err", err)
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	return s.engine.Cell(job, opts)
+}
+
+// handleStats serves the counter snapshot.
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
+		s.log.Warn("encode stats failed", "err", err)
+	}
+}
+
+// writeEnvelope serializes one envelope response.
+func (s *Server) writeEnvelope(w http.ResponseWriter, env CellEnvelope) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(env); err != nil {
+		// The status line is already out; all we can do is log.
+		s.log.Warn("write envelope failed", "key", env.Key, "err", err)
+	}
+}
+
+// drainClose discards the remainder of a response body and closes it, so
+// the transport can reuse the connection.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, maxBodyBytes)) //nolint:errcheck
+	body.Close()
+}

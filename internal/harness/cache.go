@@ -21,6 +21,27 @@ type CellCache interface {
 	Put(key string, r Run) error
 }
 
+// CellResolver is an optional CellCache extension for caches that can
+// resolve a *job*, not just look up a key — e.g. the farm HTTPCache in
+// compute mode, which asks a remote shadowbindingd to simulate the cell
+// when its store misses. The engine prefers ResolveCell over Get whenever
+// a cache implements it; the contract matches Get exactly (ok=false is a
+// miss, an error degrades to local re-simulation, never fails the run),
+// and a resolver must NOT fall back to simulating locally itself — the
+// engine owns that path.
+type CellResolver interface {
+	ResolveCell(key string, job CellJob, opts Options) (Run, bool, error)
+}
+
+// cacheLookup reads one key from a cache, routing through ResolveCell for
+// caches that can resolve the full job (see CellResolver).
+func cacheLookup(c CellCache, key string, job CellJob, opts Options) (Run, bool, error) {
+	if r, ok := c.(CellResolver); ok {
+		return r.ResolveCell(key, job, opts)
+	}
+	return c.Get(key)
+}
+
 // ---------------------------------------------------------------------------
 // In-memory LRU.
 
@@ -153,7 +174,11 @@ func (c *DiskCache) Get(key string) (Run, bool, error) {
 	return f.Run, true, nil
 }
 
-// Put writes one entry atomically.
+// Put writes one entry atomically. Every failure path is wrapped with the
+// cell key so the engine's "cell cache write" warning names the entry that
+// failed, not just the syscall — an unwritable directory (read-only mount,
+// quota, permissions) degrades the whole run to warn-and-continue, never
+// to an error.
 func (c *DiskCache) Put(key string, r Run) error {
 	data, err := json.MarshalIndent(cellFile{
 		Schema: CellSchema,
@@ -166,18 +191,22 @@ func (c *DiskCache) Put(key string, r Run) error {
 	}
 	tmp, err := os.CreateTemp(c.dir, key+".tmp*")
 	if err != nil {
-		return err
+		return fmt.Errorf("harness: cell cache write %s: %w", key, err)
 	}
 	if _, err := tmp.Write(append(data, '\n')); err != nil {
 		tmp.Close()
 		os.Remove(tmp.Name())
-		return err
+		return fmt.Errorf("harness: cell cache write %s: %w", key, err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
-		return err
+		return fmt.Errorf("harness: cell cache write %s: %w", key, err)
 	}
-	return os.Rename(tmp.Name(), c.path(key))
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("harness: cell cache write %s: %w", key, err)
+	}
+	return nil
 }
 
 // ---------------------------------------------------------------------------
@@ -196,9 +225,28 @@ func NewTieredCache(layers ...CellCache) *TieredCache {
 
 // Get returns the first hit, promoting it into the missed faster layers.
 func (c *TieredCache) Get(key string) (Run, bool, error) {
+	return c.lookup(key, func(layer CellCache) (Run, bool, error) {
+		return layer.Get(key)
+	})
+}
+
+// ResolveCell is Get with the full job threaded through to layers that can
+// resolve it (CellResolver — e.g. a farm HTTPCache in compute mode as the
+// slowest layer): the walk is still fastest-first with backfill promotion,
+// so a remote-computed cell lands in the local memory and disk layers on
+// the way back.
+func (c *TieredCache) ResolveCell(key string, job CellJob, opts Options) (Run, bool, error) {
+	return c.lookup(key, func(layer CellCache) (Run, bool, error) {
+		return cacheLookup(layer, key, job, opts)
+	})
+}
+
+// lookup walks the layers fastest-first with read, backfilling every faster
+// layer on a hit.
+func (c *TieredCache) lookup(key string, read func(CellCache) (Run, bool, error)) (Run, bool, error) {
 	var firstErr error
 	for i, layer := range c.layers {
-		r, ok, err := layer.Get(key)
+		r, ok, err := read(layer)
 		if err != nil && firstErr == nil {
 			firstErr = err
 		}

@@ -146,6 +146,15 @@ func (e *Engine) Key(job CellJob, opts Options) string {
 	return CellFingerprint(e.version, job.Config, job.Scheme, job.Bench, opts)
 }
 
+// Cell resolves one job — cache first, then at-most-once simulation —
+// and returns the full CellResult, key and cache provenance included.
+// This is the hook the farm server (internal/farm) resolves compute
+// requests through: its single-flight map is what coalesces duplicate
+// in-flight requests fleet-wide onto one simulation.
+func (e *Engine) Cell(job CellJob, opts Options) (CellResult, error) {
+	return e.cell(job, opts)
+}
+
 // cell resolves one key: cache lookup, then single-flight simulation.
 // Errors are never cached — a failed cell is retried by the next request.
 func (e *Engine) cell(job CellJob, opts Options) (CellResult, error) {
@@ -192,7 +201,7 @@ func (e *Engine) cell(job CellJob, opts Options) (CellResult, error) {
 // resolve serves key from the cache or simulates it.
 func (e *Engine) resolve(key string, job CellJob, opts Options) (CellResult, error) {
 	if e.cache != nil {
-		if r, ok, err := e.cache.Get(key); ok {
+		if r, ok, err := cacheLookup(e.cache, key, job, opts); ok {
 			return CellResult{Key: key, Job: job, Run: r, Cached: true}, nil
 		} else if err != nil {
 			opts.logf("harness: cell cache read %s: %v (re-simulating)", key, err)

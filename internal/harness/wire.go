@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+// The cell wire form. A CellJobWire is the serializable face of one
+// (CellJob, Options) pair: everything that participates in the cell
+// fingerprint — the full configuration, the scheme's registered name
+// (stable across kind renumbering, exactly like the fingerprint and the
+// on-disk cache entries), the full workload profile, and the
+// result-affecting option fields. Parallelism and Progress never cross the
+// wire: they change wall-clock behaviour on whichever process simulates,
+// never results. The farm protocol (internal/farm) posts this form to the
+// compute endpoint; a server that resolves it through its own Engine
+// arrives at the same content-addressed key as the client, because the
+// fingerprint hashes exactly the fields carried here.
+
+// CellJobWire is the serializable form of one cell request.
+type CellJobWire struct {
+	Config  core.Config       `json:"config"`
+	Scheme  string            `json:"scheme"`
+	Profile workloads.Profile `json:"profile"`
+	Scale   int               `json:"scale"`
+	Warmup  uint64            `json:"warmup"`
+	Measure uint64            `json:"measure"`
+}
+
+// WireJob flattens a job and its run bounds into the wire form.
+func WireJob(job CellJob, opts Options) CellJobWire {
+	return CellJobWire{
+		Config:  job.Config,
+		Scheme:  job.Scheme.String(),
+		Profile: job.Bench,
+		Scale:   max(opts.Scale, 1), // CellFingerprint and RunOne clamp the same way
+		Warmup:  opts.WarmupCycles,
+		Measure: opts.MeasureCycles,
+	}
+}
+
+// Resolve validates the wire form and rebuilds the engine's native job and
+// options. The scheme name must resolve in this process's registry and the
+// configuration must pass structural validation — a request from a binary
+// with a different scheme roster or a corrupted body is an error here, not
+// a crash inside the simulator.
+func (w CellJobWire) Resolve() (CellJob, Options, error) {
+	kind, ok := core.SchemeKindByName(w.Scheme)
+	if !ok {
+		return CellJob{}, Options{}, fmt.Errorf("harness: wire job: unknown scheme %q (known: %s)",
+			w.Scheme, strings.Join(core.SchemeNames(), ", "))
+	}
+	if err := w.Config.Validate(); err != nil {
+		return CellJob{}, Options{}, fmt.Errorf("harness: wire job: %w", err)
+	}
+	if w.Profile.Name == "" {
+		return CellJob{}, Options{}, fmt.Errorf("harness: wire job: empty workload profile")
+	}
+	if w.Measure == 0 {
+		return CellJob{}, Options{}, fmt.Errorf("harness: wire job: zero measurement window")
+	}
+	job := CellJob{Config: w.Config, Scheme: kind, Bench: w.Profile}
+	opts := Options{Scale: max(w.Scale, 1), WarmupCycles: w.Warmup, MeasureCycles: w.Measure}
+	return job, opts, nil
+}

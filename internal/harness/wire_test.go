@@ -1,0 +1,186 @@
+package harness
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/workloads"
+)
+
+func wireTestJob(t *testing.T) (CellJob, Options) {
+	t.Helper()
+	prof, err := workloads.ByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.WarmupCycles = 500
+	opts.MeasureCycles = 1500
+	return CellJob{Config: core.MegaConfig(), Scheme: core.KindSTTIssue, Bench: prof}, opts
+}
+
+// TestWireJobKeyIdentity: a job that crosses the wire as JSON must resolve
+// to the same content-addressed key on the other side — this identity is
+// what lets a farm server and its clients agree on cell keys without ever
+// exchanging them for the compute path.
+func TestWireJobKeyIdentity(t *testing.T) {
+	job, opts := wireTestJob(t)
+	e := NewEngine(nil, "")
+	want := e.Key(job, opts)
+
+	data, err := json.Marshal(WireJob(job, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w CellJobWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	gotJob, gotOpts, err := w.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Key(gotJob, gotOpts); got != want {
+		t.Fatalf("wire round trip changed the cell key: %s -> %s", want, got)
+	}
+	if gotJob.Scheme != job.Scheme || gotJob.Bench.Name != job.Bench.Name {
+		t.Fatalf("wire round trip changed the job: %+v", gotJob)
+	}
+	if gotOpts.WarmupCycles != opts.WarmupCycles || gotOpts.MeasureCycles != opts.MeasureCycles {
+		t.Fatalf("wire round trip changed the options: %+v", gotOpts)
+	}
+}
+
+// TestWireJobValidation: corrupted or incompatible wire jobs must be
+// rejected at Resolve, not crash inside the simulator.
+func TestWireJobValidation(t *testing.T) {
+	job, opts := wireTestJob(t)
+	good := WireJob(job, opts)
+
+	cases := []struct {
+		name   string
+		mutate func(*CellJobWire)
+	}{
+		{"unknown scheme", func(w *CellJobWire) { w.Scheme = "no-such-scheme" }},
+		{"invalid config", func(w *CellJobWire) { w.Config.Width = 99 }},
+		{"empty profile", func(w *CellJobWire) { w.Profile = workloads.Profile{} }},
+		{"zero window", func(w *CellJobWire) { w.Measure = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := good
+			tc.mutate(&w)
+			if _, _, err := w.Resolve(); err == nil {
+				t.Fatalf("%s: Resolve accepted a bad wire job", tc.name)
+			}
+		})
+	}
+	if _, _, err := good.Resolve(); err != nil {
+		t.Fatalf("unmutated wire job rejected: %v", err)
+	}
+}
+
+// resolverCache wraps a CellCache and records ResolveCell traffic — a
+// stand-in for the farm HTTPCache in compute mode.
+type resolverCache struct {
+	inner    CellCache
+	resolves int
+	serve    func(key string, job CellJob, opts Options) (Run, bool, error)
+}
+
+func (c *resolverCache) Get(key string) (Run, bool, error) { return c.inner.Get(key) }
+func (c *resolverCache) Put(key string, r Run) error       { return c.inner.Put(key, r) }
+func (c *resolverCache) ResolveCell(key string, job CellJob, opts Options) (Run, bool, error) {
+	c.resolves++
+	return c.serve(key, job, opts)
+}
+
+// TestEngineUsesCellResolver: the engine must route lookups through
+// ResolveCell when the cache implements it, count a successful resolution
+// as a cache hit, and degrade a resolver error to local simulation.
+func TestEngineUsesCellResolver(t *testing.T) {
+	job, opts := wireTestJob(t)
+
+	// First: a resolver that serves the cell (as a remote farm would).
+	ref, err := RunOne(job.Config, job.Scheme, job.Bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := &resolverCache{
+		inner: NewMemoryCache(0),
+		serve: func(string, CellJob, Options) (Run, bool, error) { return ref, true, nil },
+	}
+	e := NewEngine(served, "")
+	res, err := e.Cell(job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if served.resolves != 1 || !res.Cached {
+		t.Fatalf("resolver not used: resolves=%d cached=%v", served.resolves, res.Cached)
+	}
+	if st := e.Stats(); st.Hits != 1 || st.Simulated != 0 {
+		t.Fatalf("resolved cell not counted as a hit: %+v", st)
+	}
+
+	// Second: a failing resolver must degrade to local simulation.
+	failing := &resolverCache{
+		inner: NewMemoryCache(0),
+		serve: func(string, CellJob, Options) (Run, bool, error) {
+			return Run{}, false, errTestUnwritable
+		},
+	}
+	e2 := NewEngine(failing, "")
+	res2, err := e2.Cell(job, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached {
+		t.Fatal("failed resolution reported as cached")
+	}
+	if st := e2.Stats(); st.Simulated != 1 {
+		t.Fatalf("failed resolution did not simulate locally: %+v", st)
+	}
+	if res2.Run.IPC != ref.IPC || res2.Run.Cycles != ref.Cycles {
+		t.Fatalf("local re-simulation diverged: %+v vs %+v", res2.Run, ref)
+	}
+}
+
+// TestTieredCacheResolveCellBackfill: a tiered stack must thread the job
+// through to resolver layers and backfill faster layers with the result —
+// the path a remote-computed cell takes into the local memory layer.
+func TestTieredCacheResolveCellBackfill(t *testing.T) {
+	job, opts := wireTestJob(t)
+	ref, err := RunOne(job.Config, job.Scheme, job.Bench, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemoryCache(0)
+	remote := &resolverCache{
+		inner: NewMemoryCache(0),
+		serve: func(string, CellJob, Options) (Run, bool, error) { return ref, true, nil },
+	}
+	tiered := NewTieredCache(mem, remote)
+
+	r, ok, err := tiered.ResolveCell("k1", job, opts)
+	if err != nil || !ok {
+		t.Fatalf("ResolveCell: ok=%v err=%v", ok, err)
+	}
+	if r.IPC != ref.IPC {
+		t.Fatalf("ResolveCell returned wrong run: %+v", r)
+	}
+	if remote.resolves != 1 {
+		t.Fatalf("remote layer resolves = %d, want 1", remote.resolves)
+	}
+	// The hit must have been promoted into the memory layer: a second
+	// lookup never reaches the resolver.
+	if _, ok, _ := mem.Get("k1"); !ok {
+		t.Fatal("hit not backfilled into the faster layer")
+	}
+	if _, ok, _ := tiered.ResolveCell("k1", job, opts); !ok {
+		t.Fatal("second lookup missed")
+	}
+	if remote.resolves != 1 {
+		t.Fatalf("second lookup reached the resolver (resolves=%d)", remote.resolves)
+	}
+}

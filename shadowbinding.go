@@ -49,6 +49,7 @@ import (
 	"repro/internal/attack"
 	"repro/internal/core"
 	"repro/internal/diffsim"
+	"repro/internal/farm"
 	"repro/internal/harness"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -97,6 +98,28 @@ type (
 	MatrixSpec = harness.MatrixSpec
 	// ExperimentSpec describes one experiment to the registry.
 	ExperimentSpec = harness.ExperimentSpec
+
+	// CellJob names one content-addressed simulation cell.
+	CellJob = harness.CellJob
+	// CellJobWire is the serializable form of one cell request — what the
+	// farm protocol posts to the compute endpoint.
+	CellJobWire = harness.CellJobWire
+
+	// FarmServer is the networked cell-farm service (cmd/shadowbindingd):
+	// remote CellCache on GET/PUT, compute-on-miss with fleet-wide
+	// single-flight on POST, optional worker fan-out, /v1/stats counters.
+	FarmServer = farm.Server
+	// FarmServerConfig parameterizes NewFarmServer.
+	FarmServerConfig = farm.ServerConfig
+	// FarmStats is the farm server's counter snapshot.
+	FarmStats = farm.Stats
+	// HTTPCache is a CellCache speaking the farm protocol — the client
+	// side of -remote. It also implements harness.CellResolver, so in
+	// compute mode a miss asks the farm to simulate the cell.
+	HTTPCache = farm.HTTPCache
+	// HTTPCacheOptions parameterizes NewHTTPCache (timeouts, retries,
+	// backoff, compute mode, breaker).
+	HTTPCacheOptions = farm.HTTPCacheOptions
 )
 
 // The Session API surface, backed by the harness cell engine.
@@ -112,6 +135,16 @@ var (
 	NewDiskCache = harness.NewDiskCache
 	// NewTieredCache layers cell caches fastest-first.
 	NewTieredCache = harness.NewTieredCache
+
+	// NewFarmServer builds the cell-farm HTTP service; serve its
+	// Handler() with any http.Server (see cmd/shadowbindingd).
+	NewFarmServer = farm.NewServer
+	// NewHTTPCache returns a farm-backed cell cache for a daemon's base
+	// URL — layer it under the local stack with NewTieredCache, or let
+	// the cmds' -remote flag do it.
+	NewHTTPCache = farm.NewHTTPCache
+	// WireJob flattens a (CellJob, Options) pair into its wire form.
+	WireJob = harness.WireJob
 
 	// RegisterExperiment adds a drop-in experiment: its id joins
 	// ExperimentIDs, every cmd's -experiment flag, and Session.Experiment.
