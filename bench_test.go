@@ -413,7 +413,10 @@ func BenchmarkSessionCacheHit(b *testing.B) {
 	opts := benchOptions()
 	opts.Parallelism = 1
 	spec := MatrixSpec{Name: "cache-hit", Configs: Configs(), Benches: benches}
-	cache := NewMemoryCache(0)
+	cache, err := OpenCache(CacheOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
 
 	// Cold pass (untimed): populate the shared cache.
 	warmup := NewSession(SessionConfig{Options: opts, Cache: cache})

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -52,10 +53,25 @@ func main() {
 	common.RegisterTrace(flag.CommandLine)
 	flag.Parse()
 
-	// Profile the whole run (cell construction included — see
+	opts := sb.DefaultOptions()
+	opts.WarmupCycles = *warmup
+	opts.MeasureCycles = *measure
+	opts.Scale = *scale
+	if !*quiet {
+		opts.Progress = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+
+	// One Build per cmd: scheme axis (baseline included — figures
+	// normalize against it), cache stack, lazy session, SIGINT context,
+	// and whole-run profiling (cell construction included — see
 	// mem.Main.WriteRange for why that matters).
-	stopProfiles := common.StartProfiles(tool)
-	defer stopProfiles()
+	h, err := common.Build(tool, opts, true)
+	if err != nil {
+		cliutil.Fatal(tool, err)
+	}
+	defer h.Close()
 
 	fuzzFlagSet, experimentSet := false, false
 	flag.Visit(func(f *flag.Flag) {
@@ -70,7 +86,7 @@ func main() {
 		if experimentSet {
 			cliutil.Fatal(tool, fmt.Errorf("-experiment cannot be combined with -fuzz/-fuzz-seed/-fuzz-mask"))
 		}
-		runFuzz(*fuzzN, *fuzzSeed, *fuzzMask, common.Parallelism, *quiet)
+		runFuzz(h.Ctx, *fuzzN, *fuzzSeed, *fuzzMask, common.Parallelism, *quiet)
 		return
 	}
 
@@ -93,7 +109,7 @@ func main() {
 		return
 	}
 	if common.TraceOut != "" {
-		runTracedCell(common, *traceCell, *warmup, *measure, *scale)
+		runTracedCell(common, *traceCell, h.Options)
 		return
 	}
 
@@ -106,39 +122,13 @@ func main() {
 		return
 	}
 
-	schemes, err := common.Schemes(true) // figures normalize against baseline
-	if err != nil {
-		cliutil.Fatal(tool, err)
-	}
-	cache, err := common.OpenCache()
-	if err != nil {
-		cliutil.Fatal(tool, err)
-	}
-
-	opts := sb.DefaultOptions()
-	opts.WarmupCycles = *warmup
-	opts.MeasureCycles = *measure
-	opts.Scale = *scale
-	opts.Parallelism = common.Parallelism
-	if !*quiet {
-		opts.Progress = func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
-		}
-	}
-
-	// Ctrl-C cancels the cell pool instead of killing it mid-write.
-	ctx, stop := cliutil.SignalContext()
-	defer stop()
-
-	sess := sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes, Cache: cache})
-
 	ids := []string{*experiment}
 	if *experiment == "all" {
 		ids = sb.ExperimentIDs()
 	}
 	start := time.Now()
 	for _, id := range ids {
-		out, err := sess.Experiment(ctx, id)
+		out, err := h.Session.Experiment(h.Ctx, id)
 		if err != nil {
 			cliutil.Fatal(tool, err)
 		}
@@ -155,18 +145,18 @@ func main() {
 		fmt.Println(report)
 	}
 
-	st := sess.Stats()
+	st := h.Session.Stats()
 	if common.CacheEnabled() {
 		cliutil.PrintCacheSummary(tool, st)
 	}
-	common.EmitBench(tool, "evaluation-sweep", st.Simulated, st.SimCycles, sweepWall, opts.Parallelism)
+	common.EmitBench(tool, "evaluation-sweep", st.Simulated, st.SimCycles, sweepWall, h.Options.Parallelism)
 }
 
 // runTracedCell runs one bench@config@scheme cell with the JSONL trace
 // recorder attached (-trace-out) and prints its headline result. The
 // recorder is observational, so the printed numbers match an untraced
 // run of the same cell.
-func runTracedCell(common *cliutil.Flags, cell string, warmup, measure uint64, scale int) {
+func runTracedCell(common *cliutil.Flags, cell string, opts sb.Options) {
 	parts := strings.Split(cell, "@")
 	if len(parts) != 3 {
 		cliutil.Fatal(tool, fmt.Errorf("-trace-cell wants bench@config@scheme, got %q", cell))
@@ -179,10 +169,6 @@ func runTracedCell(common *cliutil.Flags, cell string, warmup, measure uint64, s
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-	opts := sb.DefaultOptions()
-	opts.WarmupCycles = warmup
-	opts.MeasureCycles = measure
-	opts.Scale = scale
 	run := common.RunTraced(tool, cfg, kind, parts[0], opts)
 	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n",
 		run.Bench, run.Config, run.Scheme, run.IPC, run.Insts, run.Cycles)
@@ -191,10 +177,7 @@ func runTracedCell(common *cliutil.Flags, cell string, warmup, measure uint64, s
 // runFuzz drives the differential fuzzing subsystem: a campaign of n
 // generated programs when n > 0, otherwise a single-case replay from a
 // failure message's (seed, mask) pair.
-func runFuzz(n int, seed, mask uint64, parallel int, quiet bool) {
-	ctx, stop := cliutil.SignalContext()
-	defer stop()
-
+func runFuzz(ctx context.Context, n int, seed, mask uint64, parallel int, quiet bool) {
 	if n > 0 {
 		var progress func(format string, args ...any)
 		if !quiet {

@@ -13,7 +13,10 @@
 //	shadowbindingd -addr :8485 -cache /var/cache/farm-w1   # a worker
 //
 // Protocol (see internal/farm): GET/PUT /v1/cells/{key} for the remote
-// cache, POST /v1/cells for compute-on-miss, GET /v1/stats for counters.
+// cache, POST /v1/cells for compute-on-miss, POST /v1/experiments for a
+// streamed whole experiment, GET /v1/stats for counters. Workers are
+// rendezvous-hashed and health-probed; a dead worker's keys re-shard to
+// the survivors.
 package main
 
 import (
@@ -35,10 +38,11 @@ const tool = "shadowbindingd"
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8484", "listen address")
-	cacheDir := flag.String("cache", "", "cell cache directory backing the farm store (empty: in-memory only, nothing survives the process)")
 	workers := flag.String("workers", "", "comma-separated worker base URLs to shard cold compute across (each a shadowbindingd)")
-	parallel := flag.Int("j", 0, "bound on concurrent local simulations (0 = all CPUs)")
+	probe := flag.Duration("probe", 0, "worker health-probe interval (0: 2s; negative: passive failure detection only)")
 	verbose := flag.Bool("v", false, "log at debug level (includes per-cell engine lines)")
+	common := cliutil.Register(flag.CommandLine,
+		"cell cache directory backing the farm store (empty: in-memory only, nothing survives the process)")
 	flag.Parse()
 
 	level := slog.LevelInfo
@@ -47,10 +51,15 @@ func main() {
 	}
 	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
-	cache, err := sb.OpenCellCache(*cacheDir)
+	// The same Build every cmd uses; the daemon takes the cache stack and
+	// the SIGINT context (-remote even chains this daemon onto an upstream
+	// farm store) and leaves the session untouched.
+	h, err := common.Build(tool, sb.DefaultOptions(), false)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
+	defer h.Close()
+
 	var workerURLs []string
 	if *workers != "" {
 		for _, u := range strings.Split(*workers, ",") {
@@ -61,16 +70,17 @@ func main() {
 	}
 
 	farm := sb.NewFarmServer(sb.FarmServerConfig{
-		Cache:       cache,
-		Workers:     workerURLs,
-		Parallelism: *parallel,
-		Logger:      logger,
+		Cache:         h.Cache,
+		Workers:       workerURLs,
+		Parallelism:   common.Parallelism,
+		ProbeInterval: *probe,
+		Logger:        logger,
 	})
+	defer farm.Close() // stop the worker health prober
 	srv := &http.Server{Addr: *addr, Handler: farm.Handler()}
 
 	// SIGINT drains in-flight requests instead of dropping them mid-cell.
-	ctx, stop := cliutil.SignalContext()
-	defer stop()
+	ctx := h.Ctx
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
@@ -81,7 +91,7 @@ func main() {
 
 	logger.Info("serving cell farm",
 		"addr", *addr,
-		"cache", *cacheDir,
+		"cache", common.CacheDir,
 		"workers", len(workerURLs),
 		"version", sb.SimVersion,
 	)

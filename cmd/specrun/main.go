@@ -13,7 +13,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"strings"
@@ -55,20 +54,17 @@ func main() {
 	opts := sb.DefaultOptions()
 	opts.WarmupCycles = *warmup
 	opts.MeasureCycles = *measure
-	opts.Parallelism = common.Parallelism
 
-	cache, err := common.OpenCache()
+	// One Build per cmd: scheme axis (baseline included — the sweep table
+	// normalizes against it), cache stack, lazy session, SIGINT context.
+	h, err := common.Build(tool, opts, true)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-
-	// Ctrl-C cancels the cell pool and exits non-zero instead of killing
-	// the run mid-write.
-	ctx, stop := cliutil.SignalContext()
-	defer stop()
+	defer h.Close()
 
 	if common.SchemesCSV != "" {
-		sweep(ctx, cfg, prof, opts, cache, common)
+		sweep(cfg, prof, h, common)
 		return
 	}
 
@@ -76,15 +72,15 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-	sess := sb.NewSession(sb.SessionConfig{Options: opts, Cache: cache})
+	sess := h.Session
 	start := time.Now()
 	var run sb.Run
 	if common.TraceOut != "" {
 		// Traced runs go straight to the simulator (a cached cell cannot
 		// replay its pipeline events); the recorder is observational, so
 		// everything printed below matches an untraced run exactly.
-		run = common.RunTraced(tool, cfg, kind, *bench, opts)
-	} else if run, err = sess.Run(ctx, cfg, kind, prof); err != nil {
+		run = common.RunTraced(tool, cfg, kind, *bench, h.Options)
+	} else if run, err = sess.Run(h.Ctx, cfg, kind, prof); err != nil {
 		cliutil.Fatal(tool, err)
 	}
 	fmt.Printf("%s on %s under %s: IPC %.4f (%d instructions / %d cycles)\n\n",
@@ -93,7 +89,7 @@ func main() {
 	fmt.Println(sb.TraceOf(run))
 
 	if kind != sb.Baseline {
-		base, err := sess.Run(ctx, cfg, sb.Baseline, prof)
+		base, err := sess.Run(h.Ctx, cfg, sb.Baseline, prof)
 		if err != nil {
 			cliutil.Fatal(tool, err)
 		}
@@ -105,31 +101,26 @@ func main() {
 
 // sweep runs one benchmark under several schemes concurrently and prints
 // a comparison table plus the per-scheme trace deltas against baseline.
-func sweep(ctx context.Context, cfg sb.Config, prof sb.Benchmark, opts sb.Options, cache sb.CellCache, common *cliutil.Flags) {
-	schemes, err := common.Schemes(true)
-	if err != nil {
-		cliutil.Fatal(tool, err)
-	}
-	sess := sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes, Cache: cache})
+func sweep(cfg sb.Config, prof sb.Benchmark, h *cliutil.Handles, common *cliutil.Flags) {
 	start := time.Now()
-	m, err := sess.Matrix(ctx, sb.MatrixSpec{
+	m, err := h.Session.Matrix(h.Ctx, sb.MatrixSpec{
 		Name: "specrun", Configs: []sb.Config{cfg}, Benches: []sb.Benchmark{prof},
 	})
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
 
-	fmt.Printf("%s on %s, %d schemes\n\n", prof.Name, cfg.Name, len(schemes))
+	fmt.Printf("%s on %s, %d schemes\n\n", prof.Name, cfg.Name, len(h.Schemes))
 	fmt.Printf("%-12s %8s %10s\n", "scheme", "IPC", "vs base")
-	for _, k := range schemes {
+	for _, k := range h.Schemes {
 		fmt.Printf("%-12s %8.4f %9.1f%%\n", k,
 			m.MeanIPC(cfg.Name, k), 100*m.BenchNormIPC(cfg.Name, k, prof.Name))
 	}
 	fmt.Println()
-	for _, line := range cliutil.TraceDeltaLines(m, cfg.Name, schemes) {
+	for _, line := range cliutil.TraceDeltaLines(m, cfg.Name, h.Schemes) {
 		fmt.Println(line)
 	}
-	finish(sess, common, "specrun-sweep", start, opts.Parallelism)
+	finish(h.Session, common, "specrun-sweep", start, h.Options.Parallelism)
 }
 
 // finish emits the cache summary and the -bench-out throughput report for

@@ -34,15 +34,16 @@ func main() {
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-	schemes, err := common.Schemes(false)
+
+	// One Build per cmd: scheme axis as given (verdicts are per-scheme,
+	// nothing normalizes), SIGINT context, profiling. Attack verdicts are
+	// security checks and never resolve through the cell cache.
+	h, err := common.Build(tool, sb.DefaultOptions(), false)
 	if err != nil {
 		cliutil.Fatal(tool, err)
 	}
-
-	// Ctrl-C cancels the attack pool between runs instead of killing the
-	// process mid-write.
-	ctx, stop := cliutil.SignalContext()
-	defer stop()
+	defer h.Close()
+	schemes, ctx := h.Schemes, h.Ctx
 
 	// Two attacks per scheme: Spectre v1 first, then SSB, each block in
 	// registry order. Slots are fixed up front so the concurrent attacks
@@ -92,5 +93,6 @@ func main() {
 		}
 		fmt.Println()
 	}
+	h.Close() // os.Exit skips defers; flush profiles explicitly
 	os.Exit(exit)
 }

@@ -52,13 +52,14 @@ func main() {
 
 	sweep := func(label string) {
 		// Each sweep is a fresh session with a cold local cache — only
-		// the farm persists between them. Compute mode delegates misses
-		// to the farm instead of simulating locally.
-		remote := sb.NewHTTPCache(url, sb.HTTPCacheOptions{Compute: true})
-		sess := sb.NewSession(sb.SessionConfig{
-			Options: opts,
-			Cache:   sb.NewTieredCache(sb.NewMemoryCache(0), remote),
-		})
+		// the farm persists between them. RemoteCompute delegates misses
+		// to the farm instead of simulating locally, and a whole cold
+		// matrix travels as ONE streaming experiment request.
+		cache, err := sb.OpenCache(sb.CacheOptions{Remote: url, RemoteCompute: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sess := sb.NewSession(sb.SessionConfig{Options: opts, Cache: cache})
 		m, err := sess.Matrix(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
@@ -79,11 +80,11 @@ func main() {
 
 	sweep("cold sweep")
 	fs := farm.Stats()
-	fmt.Printf("\nfarm after cold sweep: %d computes, %d simulated, %d coalesced\n\n",
-		fs.Computes, fs.EngineSimulated, fs.Coalesced)
+	fmt.Printf("\nfarm after cold sweep: %d experiment requests, %d cells streamed, %d simulated\n\n",
+		fs.Experiments, fs.StreamedCells, fs.EngineSimulated)
 
 	sweep("warm sweep")
 	fs2 := farm.Stats()
-	fmt.Printf("\nfarm after warm sweep: %d computes, %d simulated (+%d — warm cells are lookups)\n",
-		fs2.Computes, fs2.EngineSimulated, fs2.EngineSimulated-fs.EngineSimulated)
+	fmt.Printf("\nfarm after warm sweep: %d experiment requests, %d simulated (+%d — warm cells are lookups)\n",
+		fs2.Experiments, fs2.EngineSimulated, fs2.EngineSimulated-fs.EngineSimulated)
 }

@@ -27,7 +27,8 @@ func main() {
 	}
 	// The scheme axis comes from the registry: a drop-in scheme in
 	// internal/core would show up here without any change to this program.
-	// Pass Cache: sb.OpenCellCache(dir) to persist cells across processes.
+	// Pass Cache: sb.OpenCache(sb.CacheOptions{Dir: dir}) to persist
+	// cells across processes.
 	s := sb.NewSession(sb.SessionConfig{Options: sb.DefaultOptions()})
 	ctx := context.Background()
 

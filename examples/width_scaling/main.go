@@ -34,7 +34,7 @@ func main() {
 		suite = append(suite, p)
 	}
 
-	cache, err := sb.OpenCellCache("width_scaling.cache")
+	cache, err := sb.OpenCache(sb.CacheOptions{Dir: "width_scaling.cache"})
 	if err != nil {
 		log.Fatal(err)
 	}

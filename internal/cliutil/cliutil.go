@@ -1,7 +1,11 @@
 // Package cliutil centralizes the flag wiring and process plumbing shared
-// by the three cmds (shadowbinding, specrun, spectre): the common
-// -j/-schemes/-bench-out/-cache flags, the SIGINT-cancelled root context,
-// the BENCH_core.json emission path, and the session cache summary.
+// by the four cmds (shadowbinding, specrun, spectre, shadowbindingd).
+// Every cmd follows the same two-step shape: Register installs the common
+// -j/-schemes/-bench-out/-cache/-remote/-remote-compute/-*profile flags,
+// and Build finalizes the parsed values into the handles a run starts
+// from — resolved scheme axis, assembled cell-cache stack, a lazy Session
+// over both, profile collection, and the SIGINT-cancelled root context —
+// with one Close undoing all of it.
 package cliutil
 
 import (
@@ -170,29 +174,76 @@ func (f *Flags) Schemes(withBaseline bool) ([]sb.Scheme, error) {
 	return schemes, nil
 }
 
-// OpenCache opens the cell cache stack selected by -cache and -remote,
-// layered fastest-first: in-memory LRU, then the on-disk JSON store
-// (-cache), then the farm client (-remote). Without either flag it
-// returns nil and a Session uses its private in-memory LRU.
+// OpenCache opens the cell cache stack selected by -cache and -remote
+// through the facade's one constructor: in-memory LRU, then the on-disk
+// JSON store (-cache), then the farm client (-remote), fastest-first.
+// Without either flag it returns nil and a Session uses its private
+// in-memory LRU.
 func (f *Flags) OpenCache() (sb.CellCache, error) {
 	if f.RemoteCompute && f.Remote == "" {
 		return nil, fmt.Errorf("cliutil: -remote-compute needs -remote")
 	}
-	if f.CacheDir == "" && f.Remote == "" {
+	if !f.CacheEnabled() {
 		return nil, nil
 	}
-	layers := []sb.CellCache{sb.NewMemoryCache(0)}
-	if f.CacheDir != "" {
-		disk, err := sb.NewDiskCache(f.CacheDir)
-		if err != nil {
-			return nil, err
-		}
-		layers = append(layers, disk)
+	return sb.OpenCache(sb.CacheOptions{
+		Dir:           f.CacheDir,
+		Remote:        f.Remote,
+		RemoteCompute: f.RemoteCompute,
+	})
+}
+
+// Handles is everything Build assembles from the parsed flags — the
+// uniform starting state of all four cmds. Fields a cmd does not need
+// (the daemon never touches Session) cost nothing: the session is lazy
+// and the cache stack only dials out when used.
+type Handles struct {
+	// Ctx is the SIGINT-cancelled root context.
+	Ctx context.Context
+	// Options is the cmd's run bounds with -j applied.
+	Options sb.Options
+	// Schemes is the resolved -schemes axis (baseline prepended when the
+	// cmd's figures normalize against it).
+	Schemes []sb.Scheme
+	// Cache is the -cache/-remote stack; nil when neither flag was given
+	// (the Session then uses its private in-memory LRU).
+	Cache sb.CellCache
+	// Session is a lazy evaluation session over Options, Schemes, Cache.
+	Session *sb.Session
+
+	stops []func()
+}
+
+// Close releases everything Build acquired — profiles flushed, signal
+// handling restored — in reverse order. Defer it right after Build.
+func (h *Handles) Close() {
+	for i := len(h.stops) - 1; i >= 0; i-- {
+		h.stops[i]()
 	}
-	if f.Remote != "" {
-		layers = append(layers, sb.NewHTTPCache(f.Remote, sb.HTTPCacheOptions{Compute: f.RemoteCompute}))
+}
+
+// Build finalizes the parsed flags into run handles. Call once after
+// flag.Parse, with the cmd's base options (warmup/measure/scale applied);
+// withBaseline prepends the baseline to the scheme axis for cmds whose
+// figures normalize against it. CPU profiling starts here — defer Close
+// to finalize it.
+func (f *Flags) Build(tool string, opts sb.Options, withBaseline bool) (*Handles, error) {
+	schemes, err := f.Schemes(withBaseline)
+	if err != nil {
+		return nil, err
 	}
-	return sb.NewTieredCache(layers...), nil
+	cache, err := f.OpenCache()
+	if err != nil {
+		return nil, err
+	}
+	opts.Parallelism = f.Parallelism
+	h := &Handles{Options: opts, Schemes: schemes, Cache: cache}
+	h.stops = append(h.stops, f.StartProfiles(tool))
+	ctx, stop := SignalContext()
+	h.Ctx = ctx
+	h.stops = append(h.stops, stop)
+	h.Session = sb.NewSession(sb.SessionConfig{Options: opts, Schemes: schemes, Cache: cache})
+	return h, nil
 }
 
 // CacheEnabled reports whether any persistent or shared cache layer was

@@ -18,7 +18,9 @@ import (
 // protocol, so `-remote URL` slots a shared fleet-wide store under any
 // cmd's local cache stack. It also implements harness.CellResolver: in
 // compute mode a miss becomes a POST that asks the farm to simulate the
-// cell, which is how a cold client delegates its whole matrix to the fleet.
+// cell — and harness.ExperimentResolver: a whole matrix becomes ONE
+// streaming POST /v1/experiments (ResolveExperiment), with the per-cell
+// path as the fallback for whatever a broken stream failed to deliver.
 // Per the CellCache contract every failure is a miss (plus an error for
 // the engine to report), never a failed run — and a breaker stops
 // re-dialing a dead farm on every cell.
@@ -115,6 +117,7 @@ func (c *HTTPCache) Get(key string) (harness.Run, bool, error) {
 		if err != nil {
 			return fmt.Errorf("farm: build get: %w", err)
 		}
+		req.Header.Set("Accept-Encoding", "gzip")
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return transient("farm: get %s: %w", key, err)
@@ -126,7 +129,11 @@ func (c *HTTPCache) Get(key string) (harness.Run, bool, error) {
 		case resp.StatusCode != http.StatusOK:
 			return transient("farm: get %s: %s", key, resp.Status)
 		}
-		env, err := decodeEnvelope(resp.Body, key)
+		rd, err := maybeGunzip(resp)
+		if err != nil {
+			return &transientError{err: err}
+		}
+		env, err := decodeEnvelope(rd, key)
 		if err != nil {
 			return &transientError{err: err} // corrupt body: retry, then miss
 		}
@@ -146,12 +153,16 @@ func (c *HTTPCache) Put(key string, r harness.Run) error {
 	if err != nil {
 		return fmt.Errorf("farm: marshal cell %s: %w", key, err)
 	}
+	payload, encoding := maybeGzip(body)
 	return c.retry(func(ctx context.Context) error {
-		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+CellsPath+"/"+key, bytes.NewReader(body))
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, c.base+CellsPath+"/"+key, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("farm: build put: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return transient("farm: put %s: %w", key, err)
@@ -173,18 +184,23 @@ func (c *HTTPCache) ResolveCell(key string, job harness.CellJob, opts harness.Op
 		return c.Get(key)
 	}
 	wire := harness.WireJob(job, opts)
+	body, err := json.Marshal(wire)
+	if err != nil {
+		return harness.Run{}, false, fmt.Errorf("farm: marshal job: %w", err)
+	}
+	payload, encoding := maybeGzip(body)
 	var run harness.Run
 	var ok bool
-	err := c.retry(func(ctx context.Context) error {
-		body, err := json.Marshal(wire)
-		if err != nil {
-			return fmt.Errorf("farm: marshal job: %w", err)
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+CellsPath, bytes.NewReader(body))
+	err = c.retry(func(ctx context.Context) error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+CellsPath, bytes.NewReader(payload))
 		if err != nil {
 			return fmt.Errorf("farm: build compute: %w", err)
 		}
 		req.Header.Set("Content-Type", "application/json")
+		if encoding != "" {
+			req.Header.Set("Content-Encoding", encoding)
+		}
+		req.Header.Set("Accept-Encoding", "gzip")
 		resp, err := c.hc.Do(req)
 		if err != nil {
 			return transient("farm: compute %s: %w", key, err)
@@ -198,7 +214,11 @@ func (c *HTTPCache) ResolveCell(key string, job harness.CellJob, opts harness.Op
 		case resp.StatusCode != http.StatusOK:
 			return transient("farm: compute %s: %s", key, resp.Status)
 		}
-		env, err := decodeEnvelope(resp.Body, key)
+		rd, err := maybeGunzip(resp)
+		if err != nil {
+			return &transientError{err: err}
+		}
+		env, err := decodeEnvelope(rd, key)
 		if err != nil {
 			return &transientError{err: err}
 		}
@@ -209,6 +229,46 @@ func (c *HTTPCache) ResolveCell(key string, job harness.CellJob, opts harness.Op
 		return harness.Run{}, false, err
 	}
 	return run, ok, nil
+}
+
+// ResolveExperiment implements harness.ExperimentResolver: in compute
+// mode, one POST /v1/experiments asks the farm to resolve the whole spec,
+// and every validated streamed cell is handed to deliver as it arrives —
+// under a TieredCache that backfills the faster local layers, so the
+// per-cell resolution that follows is all local hits and a cold remote
+// experiment costs exactly one request. Streamed keys are checked against
+// the locally derived key set (the stream counterpart of ResolveCell's
+// key validation). Without Compute the farm cannot be asked to simulate,
+// so the cache reports a clean no-op; every failure is returned for the
+// engine to degrade to per-cell resolution.
+func (c *HTTPCache) ResolveExperiment(ctx context.Context, spec harness.MatrixSpec, opts harness.Options, deliver func(key string, r harness.Run)) (int, error) {
+	if !c.opt.Compute {
+		return 0, nil
+	}
+	if err := c.breakerCheck(); err != nil {
+		return 0, err
+	}
+	wire := harness.WireExperiment(spec, opts)
+	jobs, wopts, err := wire.Resolve()
+	if err != nil {
+		return 0, fmt.Errorf("farm: experiment %q: %w", spec.Name, err)
+	}
+	expect := make(map[string]bool, len(jobs))
+	for _, j := range jobs {
+		expect[harness.CellKey(j, wopts)] = true
+	}
+	n, err := NewStreamClient(c.base, c.hc).Experiment(ctx, wire, func(env CellEnvelope) error {
+		if !expect[env.Key] {
+			return &StreamError{Reason: "protocol",
+				Err: fmt.Errorf("farm: streamed key %s is not in experiment %q (version skew?)", env.Key, spec.Name)}
+		}
+		if deliver != nil {
+			deliver(env.Key, env.Run)
+		}
+		return nil
+	})
+	c.breakerReport(err == nil)
+	return n, err
 }
 
 // retry runs one attempt function under the per-attempt timeout, retrying

@@ -54,6 +54,7 @@ func newTestFarm(t *testing.T, cfg ServerConfig) (*Server, *httptest.Server) {
 	s := NewServer(cfg)
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
 	return s, ts
 }
 

@@ -114,15 +114,17 @@ func TestWorkerFailureFallsBackLocal(t *testing.T) {
 	}
 }
 
-// TestPoolSharding: pick is deterministic and uses every worker across
-// enough keys — the property the fan-out test observes end to end.
+// TestPoolSharding: rendezvous pick is deterministic and uses every
+// worker across enough keys — the property the fan-out test observes end
+// to end.
 func TestPoolSharding(t *testing.T) {
-	p := newWorkerPool([]string{"http://a/", "http://b", "http://c"}, 0)
+	p := newWorkerPool([]string{"http://a/", "http://b", "http://c"}, 0, -1, nil)
+	defer p.Close()
 	seen := map[string]bool{}
 	for i := 0; i < 64; i++ {
 		key := fmt.Sprintf("%016x", i*2654435761)
-		u := p.pick(key)
-		if u != p.pick(key) {
+		u := p.pick(key, nil)
+		if u != p.pick(key, nil) {
 			t.Fatalf("pick not deterministic for %s", key)
 		}
 		seen[u] = true
@@ -134,5 +136,103 @@ func TestPoolSharding(t *testing.T) {
 		if u[len(u)-1] == '/' {
 			t.Fatalf("worker URL kept trailing slash: %q", u)
 		}
+	}
+}
+
+// TestPoolRendezvousMinimalDisruption: the HRW property the re-shard
+// design rests on — losing one worker remaps ONLY the keys that worker
+// owned; every key on a survivor stays exactly where its cache is warm.
+// (The static FNV shard this replaced remapped ~everything.)
+func TestPoolRendezvousMinimalDisruption(t *testing.T) {
+	p := newWorkerPool([]string{"http://a", "http://b", "http://c"}, 0, -1, nil)
+	defer p.Close()
+
+	const keys = 256
+	before := make(map[string]string, keys)
+	owned := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("%016x", i*2654435761)
+		before[key] = p.pick(key, nil)
+		if before[key] == "http://b" {
+			owned++
+		}
+	}
+	if owned == 0 || owned == keys {
+		t.Fatalf("degenerate spread: b owns %d/%d keys", owned, keys)
+	}
+
+	p.markDead("http://b", fmt.Errorf("test"))
+	moved := map[string]int{}
+	for key, prev := range before {
+		now := p.pick(key, nil)
+		if now == "http://b" {
+			t.Fatalf("dead worker still picked for %s", key)
+		}
+		if prev != "http://b" && now != prev {
+			t.Fatalf("key %s moved %s -> %s though its worker survived", key, prev, now)
+		}
+		if prev == "http://b" {
+			moved[now]++
+		}
+	}
+	// The orphaned slice must re-shard across BOTH survivors, not pile up.
+	if len(moved) != 2 {
+		t.Fatalf("orphaned keys landed on %d survivors: %v", len(moved), moved)
+	}
+}
+
+// TestWorkerDeathReshards: the end-to-end re-shard contract — with one of
+// two workers dead, every cell (including the dead worker's slice) is
+// computed by the survivor, and the coordinator never simulates locally.
+func TestWorkerDeathReshards(t *testing.T) {
+	w1, ts1 := newTestFarm(t, ServerConfig{})
+	_, ts2 := newTestFarm(t, ServerConfig{})
+	coord, tsc := newTestFarm(t, ServerConfig{Workers: []string{ts1.URL, ts2.URL}})
+
+	// Kill worker 2 before any traffic: its slice must re-shard onto
+	// worker 1 via passive failure detection, at the cost of exactly one
+	// failed forward (the first key that picks it).
+	ts2.Close()
+
+	opts := testOpts()
+	benches := []string{"505.mcf", "502.gcc", "520.omnetpp", "541.leela"}
+	c := fastClient(tsc.URL, true)
+	for _, b := range benches {
+		for _, k := range []core.SchemeKind{core.KindBaseline, core.KindNDA} {
+			job := testJob(t, b, k)
+			key := keyOf(job, opts)
+			run, ok, err := c.ResolveCell(key, job, opts)
+			if err != nil || !ok {
+				t.Fatalf("cell %s: ok=%v err=%v", key, ok, err)
+			}
+			if !reflect.DeepEqual(run, refRun(t, job, opts)) {
+				t.Fatalf("cell %s diverges after re-shard", key)
+			}
+		}
+	}
+
+	cs, s1 := coord.Stats(), w1.Stats()
+	if cs.EngineSimulated != 0 {
+		t.Fatalf("coordinator simulated despite a healthy survivor: %+v", cs)
+	}
+	if s1.EngineSimulated != 8 {
+		t.Fatalf("survivor simulated %d of 8 cells", s1.EngineSimulated)
+	}
+	if cs.Forwarded != 8 {
+		t.Fatalf("forwarded %d of 8 cells: %+v", cs.Forwarded, cs)
+	}
+	// Passive detection pays the dead worker at most one failed forward
+	// (zero if the first keys all rendezvous onto the survivor).
+	if cs.WorkerErrors > 1 {
+		t.Fatalf("dead worker charged per key, not once: %+v", cs)
+	}
+	var deadSeen bool
+	for _, w := range cs.Workers {
+		if w.URL == ts2.URL && !w.Healthy {
+			deadSeen = true
+		}
+	}
+	if cs.WorkerErrors == 1 && !deadSeen {
+		t.Fatalf("failed worker not marked dead in stats: %+v", cs.Workers)
 	}
 }

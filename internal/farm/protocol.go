@@ -2,8 +2,9 @@
 // cell engine: an HTTP service (Server, behind cmd/shadowbindingd) that
 // stores and computes simulation cells, a CellCache client (HTTPCache) that
 // gives any process remote caching — and optionally remote *computation* —
-// through the existing harness.CellCache interface, and a worker pool that
-// shards cold compute requests across processes.
+// through the existing harness.CellCache interface, a streaming client
+// (StreamClient) that consumes whole experiments, and a worker pool that
+// rendezvous-shards cold compute requests across healthy processes.
 //
 // The protocol is deliberately small and cache-shaped:
 //
@@ -12,23 +13,40 @@
 //	POST /v1/cells         compute-on-miss: body is a harness.CellJobWire;
 //	                       the server resolves it through its own engine
 //	                       (cache first, fleet-wide single-flight, then
-//	                       simulation or worker forward) and returns the
+//	                       worker forward or simulation) and returns the
 //	                       cell envelope
-//	GET  /v1/stats         farm counters as JSON (Stats)
+//	POST /v1/experiments   compute a whole experiment: body is a
+//	                       harness.ExperimentJobWire; the response is an
+//	                       NDJSON stream — one StreamHeader line, one cell
+//	                       envelope per unique cell in completion order
+//	                       (driven by the engine's Subscribe), and one
+//	                       StreamTrailer line whose presence marks the
+//	                       stream complete
+//	GET  /v1/stats         farm counters as JSON (Stats, self-identified
+//	                       by its schema field)
+//
+// Cell and stream bodies support gzip content negotiation in both
+// directions (Content-Encoding on requests, Accept-Encoding/
+// Content-Encoding on responses) — million-cycle traced cells compress
+// well, and streams flush per line either way so the stream doubles as a
+// progress feed.
 //
 // Keys are the engine's content-addressed cell fingerprints and are opaque
 // to the server's store; a client and server built from the same source
-// derive identical keys for identical jobs, because the wire form carries
+// derive identical keys for identical jobs, because the wire forms carry
 // exactly the fingerprinted fields. Every failure on the client side
 // degrades to a cache miss — the harness CellCache contract — so a flaky
 // or absent farm never fails a run, it only costs local re-simulation.
 package farm
 
 import (
+	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/harness"
@@ -40,13 +58,31 @@ const (
 	// CellsPath is the cell collection: POST computes a cell, GET/PUT on
 	// CellsPath/{key} read and write the store.
 	CellsPath = "/v1/cells"
+	// ExperimentsPath computes a whole experiment: POST an
+	// ExperimentJobWire, stream cell envelopes back as they complete.
+	ExperimentsPath = "/v1/experiments"
 	// StatsPath serves the farm's counter snapshot.
 	StatsPath = "/v1/stats"
 
-	// maxBodyBytes bounds request and response bodies; cell envelopes and
-	// job wire forms are a few KiB, so 1 MiB is generous headroom, not a
-	// constraint.
+	// StatsSchema identifies the /v1/stats payload layout. v2 added the
+	// schema field itself, per-endpoint latency percentiles, worker health,
+	// and the experiment-stream counters.
+	StatsSchema = "shadowbinding-farm-stats/v2"
+	// StreamHeaderSchema marks the first line of an experiment stream.
+	StreamHeaderSchema = "shadowbinding-stream-header/v1"
+	// StreamTrailerSchema marks the last line of an experiment stream; a
+	// reader that hits EOF without it has a truncated stream.
+	StreamTrailerSchema = "shadowbinding-stream-end/v1"
+
+	// maxBodyBytes bounds request bodies, single-envelope response bodies,
+	// and individual stream lines; cell envelopes and job wire forms are a
+	// few KiB, so 1 MiB is generous headroom, not a constraint. (A whole
+	// experiment stream is unbounded — it is many lines, each bounded.)
 	maxBodyBytes = 1 << 20
+
+	// gzipMinBytes is the body size below which clients skip compression:
+	// tiny bodies spend more on gzip framing than they save.
+	gzipMinBytes = 1 << 10
 )
 
 // CellEnvelope is one cell result on the wire — the farm counterpart of
@@ -98,26 +134,122 @@ func decodeEnvelope(r io.Reader, wantKey string) (CellEnvelope, error) {
 	return env, nil
 }
 
-// Stats is the farm server's counter snapshot, served on StatsPath. The
-// Engine* fields are the embedded cell engine's accounting: local cache
-// hits and simulations behind the compute endpoint (forwarded computes are
-// counted by the worker that ran them).
+// StreamHeader is the first NDJSON line of an experiment stream: the
+// number of unique cells the stream will carry, so a consumer can render
+// progress before the first cell lands.
+type StreamHeader struct {
+	Schema string `json:"schema"`
+	Cells  int    `json:"cells"`
+}
+
+// StreamTrailer is the last NDJSON line of an experiment stream — the
+// completeness marker that distinguishes a finished stream from one cut
+// off mid-body. Err carries a server-side failure (the cells already
+// streamed remain valid).
+type StreamTrailer struct {
+	Schema string `json:"schema"`
+	Done   int    `json:"done"`
+	Err    string `json:"error,omitempty"`
+}
+
+// WorkerStatus is one worker's health as tracked by the coordinator's
+// prober and passive failure detection.
+type WorkerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// LatencyStats summarizes one endpoint's request latency, in
+// milliseconds, from a fixed log-spaced histogram: each percentile is the
+// upper bound of its bucket, exact to within one bucket ratio.
+type LatencyStats struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Stats is the farm server's counter snapshot, served on StatsPath and
+// self-identified by Schema (StatsSchema). The Engine* fields are the
+// embedded cell engine's accounting: local cache hits and simulations
+// behind the compute endpoints (forwarded computes are counted by the
+// worker that ran them, and as Forwarded here).
 type Stats struct {
-	Gets            int64  `json:"gets"`              // GET requests
-	GetHits         int64  `json:"get_hits"`          // GETs served from the store
-	Puts            int64  `json:"puts"`              // accepted PUT writes
-	Computes        int64  `json:"computes"`          // POST compute requests
-	Coalesced       int64  `json:"coalesced"`         // computes that joined an in-flight resolution
-	Forwarded       int64  `json:"forwarded"`         // computes served by a worker
-	WorkerErrors    int64  `json:"worker_errors"`     // worker failures that fell back to local compute
-	InFlight        int64  `json:"in_flight"`         // compute resolutions currently running
-	EngineCells     int64  `json:"engine_cells"`      // cells resolved by the local engine
-	EngineHits      int64  `json:"engine_hits"`       // ... served from the local cache
-	EngineSimulated int64  `json:"engine_simulated"`  // ... simulated locally
-	SimCycles       uint64 `json:"engine_sim_cycles"` // simulated cycles executed locally
+	Schema          string                  `json:"schema"`
+	Gets            int64                   `json:"gets"`              // GET requests
+	GetHits         int64                   `json:"get_hits"`          // GETs served from the store
+	Puts            int64                   `json:"puts"`              // accepted PUT writes
+	Computes        int64                   `json:"computes"`          // POST compute requests
+	Experiments     int64                   `json:"experiments"`       // POST experiment requests
+	StreamedCells   int64                   `json:"streamed_cells"`    // cells streamed on experiment responses
+	Coalesced       int64                   `json:"coalesced"`         // requests that joined an in-flight resolution
+	Forwarded       int64                   `json:"forwarded"`         // cells served by a worker
+	WorkerErrors    int64                   `json:"worker_errors"`     // forwards that failed (re-shard or local fallback)
+	InFlight        int64                   `json:"in_flight"`         // compute resolutions currently running
+	EngineCells     int64                   `json:"engine_cells"`      // cells resolved by the local engine
+	EngineHits      int64                   `json:"engine_hits"`       // ... served from the local cache (or a worker)
+	EngineSimulated int64                   `json:"engine_simulated"`  // ... simulated locally
+	SimCycles       uint64                  `json:"engine_sim_cycles"` // simulated cycles executed locally
+	Workers         []WorkerStatus          `json:"workers,omitempty"` // tracked worker health
+	Latency         map[string]LatencyStats `json:"latency_ms,omitempty"`
 }
 
 // httpError writes status with a plain-text reason.
 func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	http.Error(w, fmt.Sprintf(format, args...), status)
+}
+
+// ---------------------------------------------------------------------------
+// gzip content negotiation.
+
+// gzipAccepted reports whether a request advertises gzip response support.
+func gzipAccepted(h http.Header) bool {
+	return strings.Contains(h.Get("Accept-Encoding"), "gzip")
+}
+
+// requestBody returns r's body bounded to maxBodyBytes, transparently
+// decompressing a gzip Content-Encoding. The bound applies to the
+// *decompressed* bytes too, so a compression bomb cannot expand past the
+// same limit a plain body has.
+func requestBody(w http.ResponseWriter, r *http.Request) (io.Reader, error) {
+	var rd io.Reader = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	if r.Header.Get("Content-Encoding") == "gzip" {
+		gz, err := gzip.NewReader(rd)
+		if err != nil {
+			return nil, fmt.Errorf("farm: gzip request body: %w", err)
+		}
+		rd = io.LimitReader(gz, maxBodyBytes)
+	}
+	return rd, nil
+}
+
+// maybeGunzip wraps a response body when the server negotiated gzip.
+// Callers bound their own reads (decodeEnvelope's limit, the stream
+// reader's per-line cap), so no total limit is imposed here — an
+// experiment stream is legitimately larger than any single body.
+func maybeGunzip(resp *http.Response) (io.Reader, error) {
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		return resp.Body, nil
+	}
+	gz, err := gzip.NewReader(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("farm: gzip response body: %w", err)
+	}
+	return gz, nil
+}
+
+// maybeGzip compresses a request body when it is worth it, returning the
+// (possibly original) bytes and the Content-Encoding value to send (""
+// for identity — tiny or incompressible bodies go as-is).
+func maybeGzip(body []byte) ([]byte, string) {
+	if len(body) < gzipMinBytes {
+		return body, ""
+	}
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write(body) //nolint:errcheck // bytes.Buffer writes cannot fail
+	if err := gz.Close(); err != nil || buf.Len() >= len(body) {
+		return body, ""
+	}
+	return buf.Bytes(), "gzip"
 }

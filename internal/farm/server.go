@@ -1,7 +1,9 @@
 package farm
 
 import (
+	"compress/gzip"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -22,14 +24,20 @@ type ServerConfig struct {
 	// private in-memory LRU (use harness.OpenCellCache(dir) to persist).
 	Cache harness.CellCache
 	// Workers lists worker base URLs ("http://host:port"); when non-empty,
-	// cold compute requests are sharded across them by key hash, falling
-	// back to local simulation when the picked worker fails.
+	// cold compute requests are rendezvous-sharded across the healthy
+	// subset, re-sharding around dead workers and falling back to local
+	// simulation only when no healthy worker remains.
 	Workers []string
 	// Parallelism bounds concurrent local simulations (zero: all CPUs).
-	// Cache hits and coalesced waiters are never bounded by it.
+	// Cache hits, coalesced waiters, and worker forwards are never bounded
+	// by it.
 	Parallelism int
 	// WorkerTimeout bounds one forwarded compute request (zero: 5m).
 	WorkerTimeout time.Duration
+	// ProbeInterval is the worker health-probe cadence (zero: 2s;
+	// negative: probing disabled — passive failure detection only, so a
+	// dead worker is never revived).
+	ProbeInterval time.Duration
 	// Version overrides the engine's fingerprint version stamp (tests).
 	Version string
 	// Logger receives structured request and lifecycle logs (nil: discard).
@@ -37,36 +45,29 @@ type ServerConfig struct {
 }
 
 // Server is the farm's HTTP service: a remote CellCache on GET/PUT, a
-// compute service on POST, and a stats endpoint. Duplicate in-flight
-// compute requests coalesce fleet-wide onto one resolution — the server's
-// flight map covers the forwarded path, the engine's single-flight covers
-// the local one — so a thundering herd of identical requests costs exactly
-// one simulation.
+// compute service on POST (single cells and streamed whole experiments),
+// and a stats endpoint. Every compute resolves through one embedded cell
+// engine whose cache stack is the local store over the worker pool — so
+// duplicate in-flight requests coalesce fleet-wide onto one resolution
+// (the engine's single-flight), forwarded results are adopted into the
+// local store by the tier walk's backfill, and local simulation is the
+// engine's miss path, bounded by its simulation gate.
 type Server struct {
-	cache  harness.CellCache
+	cache  harness.CellCache // the local store (the GET/PUT face)
 	engine *harness.Engine
 	pool   *workerPool
 	log    *slog.Logger
-	sem    chan struct{} // bounds concurrent local simulations
-
-	mu      sync.Mutex
-	flights map[string]*flight
+	lat    *latencySet
 
 	gets, getHits, puts   atomic.Int64
-	computes, coalesced   atomic.Int64
+	computes, experiments atomic.Int64
+	streamed              atomic.Int64
 	forwarded, workerErrs atomic.Int64
 	inFlight              atomic.Int64
 }
 
-// flight is one in-progress compute resolution; concurrent requests for
-// the same key wait on done and share res/err.
-type flight struct {
-	done chan struct{}
-	res  harness.CellResult
-	err  error
-}
-
-// NewServer builds a farm server over cfg.
+// NewServer builds a farm server over cfg. Callers that configured
+// workers should Close the server to stop the health prober.
 func NewServer(cfg ServerConfig) *Server {
 	cache := cfg.Cache
 	if cache == nil {
@@ -81,62 +82,93 @@ func NewServer(cfg ServerConfig) *Server {
 		workers = runtime.NumCPU()
 	}
 	s := &Server{
-		cache:   cache,
-		engine:  harness.NewEngine(cache, cfg.Version),
-		log:     logger,
-		sem:     make(chan struct{}, workers),
-		flights: make(map[string]*flight),
+		cache: cache,
+		log:   logger,
+		lat:   newLatencySet(),
 	}
+	engineCache := cache
 	if len(cfg.Workers) > 0 {
 		timeout := cfg.WorkerTimeout
 		if timeout <= 0 {
 			timeout = 5 * time.Minute
 		}
-		s.pool = newWorkerPool(cfg.Workers, timeout)
+		probe := cfg.ProbeInterval
+		if probe == 0 {
+			probe = 2 * time.Second
+		}
+		s.pool = newWorkerPool(cfg.Workers, timeout, probe, logger)
+		// The pool joins the engine's cache stack as the slowest tier:
+		// local store first, then the fleet; a forward hit backfills the
+		// local store on the way back, and a total miss is the engine's
+		// bounded local simulation.
+		engineCache = harness.NewTieredCache(cache, &poolLayer{s: s})
 	}
+	s.engine = harness.NewEngine(engineCache, cfg.Version)
+	s.engine.SetSimulationBound(workers)
 	return s
+}
+
+// Close stops the background worker prober. The HTTP handler itself is
+// stateless across requests and needs no shutdown.
+func (s *Server) Close() {
+	if s.pool != nil {
+		s.pool.Close()
+	}
 }
 
 // Stats snapshots the farm's counters.
 func (s *Server) Stats() Stats {
 	es := s.engine.Stats()
-	return Stats{
+	st := Stats{
+		Schema:          StatsSchema,
 		Gets:            s.gets.Load(),
 		GetHits:         s.getHits.Load(),
 		Puts:            s.puts.Load(),
 		Computes:        s.computes.Load(),
-		Coalesced:       s.coalesced.Load(),
+		Experiments:     s.experiments.Load(),
+		StreamedCells:   s.streamed.Load(),
+		Coalesced:       int64(es.Coalesced),
 		Forwarded:       s.forwarded.Load(),
 		WorkerErrors:    s.workerErrs.Load(),
 		InFlight:        s.inFlight.Load(),
 		EngineCells:     int64(es.Cells),
-		EngineHits:      int64(es.Hits),
+		EngineHits:      int64(es.Hits - es.Coalesced),
 		EngineSimulated: int64(es.Simulated),
 		SimCycles:       es.SimCycles,
+		Latency:         s.lat.snapshot(),
 	}
+	if s.pool != nil {
+		st.Workers = s.pool.statuses()
+	}
+	return st
 }
 
-// Handler returns the farm's routed handler with request logging attached.
+// Handler returns the farm's routed handler with request logging and
+// latency accounting attached.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET "+CellsPath+"/{key}", s.handleGet)
 	mux.HandleFunc("PUT "+CellsPath+"/{key}", s.handlePut)
 	mux.HandleFunc("POST "+CellsPath, s.handleCompute)
+	mux.HandleFunc("POST "+ExperimentsPath, s.handleExperiment)
 	mux.HandleFunc("GET "+StatsPath, s.handleStats)
 	return s.logged(mux)
 }
 
-// logged wraps h with one structured log line per request.
+// logged wraps h with one structured log line and one latency-histogram
+// observation per request.
 func (s *Server) logged(h http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		lw := &loggingWriter{ResponseWriter: w, status: http.StatusOK}
 		h.ServeHTTP(lw, r)
+		dur := time.Since(start)
+		s.lat.observe(endpointOf(r), dur)
 		s.log.Info("request",
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", lw.status,
-			"dur_ms", time.Since(start).Milliseconds(),
+			"dur_ms", dur.Milliseconds(),
 			"remote", r.RemoteAddr,
 		)
 	})
@@ -151,6 +183,31 @@ type loggingWriter struct {
 func (w *loggingWriter) WriteHeader(status int) {
 	w.status = status
 	w.ResponseWriter.WriteHeader(status)
+}
+
+// poolLayer adapts the worker pool into a CellResolver cache layer — the
+// slowest tier of the coordinator engine's stack. A forward hit is a
+// cache hit whose backfill adopts the worker's result into the local
+// store; a forward failure is a miss plus an error, which the engine
+// degrades to bounded local simulation, the universal fallback.
+type poolLayer struct{ s *Server }
+
+func (pl *poolLayer) Get(string) (harness.Run, bool, error) { return harness.Run{}, false, nil }
+func (pl *poolLayer) Put(string, harness.Run) error         { return nil }
+
+func (pl *poolLayer) ResolveCell(key string, job harness.CellJob, opts harness.Options) (harness.Run, bool, error) {
+	res, worker, err := pl.s.pool.compute(key, harness.WireJob(job, opts))
+	if err != nil {
+		if errors.Is(err, errNoWorkers) {
+			return harness.Run{}, false, nil // quiet miss: simulate locally
+		}
+		pl.s.workerErrs.Add(1)
+		pl.s.log.Warn("worker compute failed; simulating locally", "key", key, "worker", worker, "err", err)
+		return harness.Run{}, false, err
+	}
+	pl.s.forwarded.Add(1)
+	pl.s.log.Info("forwarded", "key", key, "worker", worker, "cached", res.Cached)
+	return res.Run, true, nil
 }
 
 // handleGet serves one cell from the store: the remote cache read.
@@ -168,7 +225,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.getHits.Add(1)
-	s.writeEnvelope(w, newEnvelope(key, run, true))
+	s.encodeJSON(w, r, newEnvelope(key, run, true))
 }
 
 // handlePut stores one cell: the remote cache write. A store failure is a
@@ -176,7 +233,12 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // continue), but the error is never swallowed here.
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	key := r.PathValue("key")
-	env, err := decodeEnvelope(http.MaxBytesReader(w, r.Body, maxBodyBytes), key)
+	body, err := requestBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	env, err := decodeEnvelope(body, key)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -190,12 +252,17 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleCompute resolves a full job: cache, then single-flight worker
-// forward or local simulation.
+// handleCompute resolves a full job through the engine: local cache,
+// fleet-wide single-flight, worker forward, bounded local simulation.
 func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 	s.computes.Add(1)
+	body, err := requestBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 	var wire harness.CellJobWire
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&wire); err != nil {
+	if err := json.NewDecoder(body).Decode(&wire); err != nil {
 		httpError(w, http.StatusBadRequest, "farm: decode job: %v", err)
 		return
 	}
@@ -204,32 +271,120 @@ func (s *Server) handleCompute(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Route harness warnings (cache read/write failures, progress) into
-	// the structured log instead of dropping them.
-	opts.Progress = func(format string, args ...any) {
-		s.log.Debug("engine", "msg", fmt.Sprintf(format, args...))
-	}
+	opts.Progress = s.engineLog
 	key := s.engine.Key(job, opts)
 
 	s.inFlight.Add(1)
-	res, coalesced, err := s.resolveCompute(key, job, opts, wire)
+	res, err := s.engine.Cell(job, opts)
 	s.inFlight.Add(-1)
 	if err != nil {
 		s.log.Warn("compute failed", "key", key, "cell", cellName(job), "err", err)
 		httpError(w, http.StatusInternalServerError, "compute %s: %v", key, err)
 		return
 	}
-	if coalesced {
-		s.coalesced.Add(1)
-	}
 	s.log.Info("compute",
 		"key", key,
 		"cell", cellName(job),
 		"cached", res.Cached,
-		"coalesced", coalesced,
 		"cycles", res.Run.TotalCycles,
 	)
-	s.writeEnvelope(w, newEnvelope(key, res.Run, res.Cached))
+	s.encodeJSON(w, r, newEnvelope(key, res.Run, res.Cached))
+}
+
+// handleExperiment resolves a whole experiment, streaming cells back as
+// NDJSON in completion order: one header line, one envelope per unique
+// cell the moment the engine's subscription reports it, one trailer line.
+// The response flushes per line — the stream doubles as a progress feed —
+// and a client disconnect cancels the remaining work through the request
+// context.
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	s.experiments.Add(1)
+	body, err := requestBody(w, r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	var wire harness.ExperimentJobWire
+	if err := json.NewDecoder(body).Decode(&wire); err != nil {
+		httpError(w, http.StatusBadRequest, "farm: decode experiment: %v", err)
+		return
+	}
+	jobs, opts, err := wire.Resolve()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	opts.Progress = s.engineLog
+	opts.Parallelism = s.experimentParallelism()
+
+	// Dedupe by key so the header's cell count and the one-line-per-key
+	// contract hold even when a spec enumerates one cell twice.
+	pending := make(map[string]bool, len(jobs))
+	unique := make([]harness.CellJob, 0, len(jobs))
+	for _, j := range jobs {
+		k := s.engine.Key(j, opts)
+		if pending[k] {
+			continue
+		}
+		pending[k] = true
+		unique = append(unique, j)
+	}
+	total := len(unique)
+	s.log.Info("experiment", "name", wire.Name, "cells", total)
+
+	sw := newStreamWriter(w, r)
+	sw.enqueue(StreamHeader{Schema: StreamHeaderSchema, Cells: total})
+
+	// The engine broadcasts every completed cell to every subscriber;
+	// pending filters this request's keys, and deleting on emission keeps
+	// each key to exactly one stream line even when a concurrent request
+	// resolves (and re-emits) the same cell.
+	var mu sync.Mutex
+	cancel := s.engine.Subscribe(func(res harness.CellResult) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !pending[res.Key] {
+			return
+		}
+		delete(pending, res.Key)
+		s.streamed.Add(1)
+		sw.enqueue(newEnvelope(res.Key, res.Run, res.Cached))
+	})
+	s.inFlight.Add(1)
+	_, runErr := s.engine.RunCells(r.Context(), unique, opts)
+	s.inFlight.Add(-1)
+	cancel()
+
+	mu.Lock()
+	trailer := StreamTrailer{Schema: StreamTrailerSchema, Done: total - len(pending)}
+	mu.Unlock()
+	if runErr != nil {
+		trailer.Err = runErr.Error()
+		s.log.Warn("experiment failed", "name", wire.Name, "done", trailer.Done, "err", runErr)
+	}
+	sw.enqueue(trailer)
+	if err := sw.close(); err != nil {
+		s.log.Warn("experiment stream write failed", "name", wire.Name, "err", err)
+	}
+}
+
+// experimentParallelism sizes RunCells for an experiment request: all
+// CPUs locally, widened when forwarding so every worker stays busy (their
+// own simulation gates bound the real load).
+func (s *Server) experimentParallelism() int {
+	n := runtime.NumCPU()
+	if s.pool != nil {
+		if m := 4 * len(s.pool.workers); m > n {
+			n = m
+		}
+	}
+	return n
+}
+
+// engineLog routes harness warnings (cache read/write failures, progress)
+// into the structured log instead of dropping them.
+func (s *Server) engineLog(format string, args ...any) {
+	s.log.Debug("engine", "msg", fmt.Sprintf(format, args...))
 }
 
 // cellName renders a job as the bench@config@scheme form the cmds use.
@@ -237,87 +392,138 @@ func cellName(job harness.CellJob) string {
 	return fmt.Sprintf("%s@%s@%s", job.Bench.Name, job.Config.Name, job.Scheme)
 }
 
-// resolveCompute coalesces duplicate in-flight requests for one key onto a
-// single resolution (worker forward or local engine). If a holder fails,
-// one waiter claims the key and retries — matching the engine's own
-// single-flight semantics, so a transient failure never wedges a key.
-func (s *Server) resolveCompute(key string, job harness.CellJob, opts harness.Options, wire harness.CellJobWire) (harness.CellResult, bool, error) {
-	for {
-		s.mu.Lock()
-		if f, busy := s.flights[key]; busy {
-			s.mu.Unlock()
-			<-f.done
-			if f.err != nil {
-				continue // the holder failed; claim the key and retry
-			}
-			res := f.res
-			res.Cached = true // coalesced onto the in-flight resolution
-			return res, true, nil
-		}
-		f := &flight{done: make(chan struct{})}
-		s.flights[key] = f
-		s.mu.Unlock()
-
-		f.res, f.err = s.computeCell(key, job, opts, wire)
-
-		s.mu.Lock()
-		delete(s.flights, key)
-		s.mu.Unlock()
-		close(f.done)
-		return f.res, false, f.err
-	}
-}
-
-// computeCell resolves one cell: local cache, then the sharded worker (if
-// any), then bounded local simulation. A worker failure degrades to local
-// compute — the farm's contract mirrors the CellCache one: failures cost
-// time, never the run.
-func (s *Server) computeCell(key string, job harness.CellJob, opts harness.Options, wire harness.CellJobWire) (harness.CellResult, error) {
-	if s.pool == nil {
-		s.sem <- struct{}{}
-		defer func() { <-s.sem }()
-		return s.engine.Cell(job, opts)
-	}
-
-	// With workers configured, consult the local store before forwarding so
-	// a warm coordinator never costs a worker round-trip.
-	if run, ok, err := s.cache.Get(key); ok {
-		return harness.CellResult{Key: key, Run: run, Cached: true}, nil
-	} else if err != nil {
-		s.log.Warn("cache read failed", "key", key, "err", err)
-	}
-	res, worker, err := s.pool.compute(key, wire)
-	if err == nil {
-		s.forwarded.Add(1)
-		// Adopt the worker's result so subsequent requests hit locally.
-		if perr := s.cache.Put(key, res.Run); perr != nil {
-			s.log.Warn("cache write failed", "key", key, "err", perr)
-		}
-		s.log.Info("forwarded", "key", key, "worker", worker, "cached", res.Cached)
-		return res, nil
-	}
-	s.workerErrs.Add(1)
-	s.log.Warn("worker compute failed; falling back to local", "key", key, "worker", worker, "err", err)
-	s.sem <- struct{}{}
-	defer func() { <-s.sem }()
-	return s.engine.Cell(job, opts)
-}
-
 // handleStats serves the counter snapshot.
-func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.encodeJSON(w, r, s.Stats())
+}
+
+// encodeJSON writes v as the response body, gzip-compressed when the
+// client negotiated it.
+func (s *Server) encodeJSON(w http.ResponseWriter, r *http.Request, v any) {
 	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(s.Stats()); err != nil {
-		s.log.Warn("encode stats failed", "err", err)
+	var out io.Writer = w
+	if gzipAccepted(r.Header) {
+		w.Header().Set("Content-Encoding", "gzip")
+		gz := gzip.NewWriter(w)
+		defer gz.Close()
+		out = gz
+	}
+	if err := json.NewEncoder(out).Encode(v); err != nil {
+		// The status line is already out; all we can do is log.
+		s.log.Warn("write response failed", "err", err)
 	}
 }
 
-// writeEnvelope serializes one envelope response.
-func (s *Server) writeEnvelope(w http.ResponseWriter, env CellEnvelope) {
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(env); err != nil {
-		// The status line is already out; all we can do is log.
-		s.log.Warn("write envelope failed", "key", env.Key, "err", err)
+// streamWriter serializes NDJSON lines onto a response through a
+// dedicated drain goroutine, so the engine subscriber that enqueues lines
+// never blocks on a slow consumer — it is called under the engine's
+// emission lock, and stalling there would stall every in-flight request's
+// progress. Lines are gzip-compressed when negotiated and flushed
+// individually; after a write failure (client gone) the queue keeps
+// draining without writing, and close reports the first failure.
+type streamWriter struct {
+	out io.Writer
+	gz  *gzip.Writer // nil without negotiation
+	fl  http.Flusher // nil when unavailable
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  [][]byte
+	closed bool
+	err    error
+	done   chan struct{}
+}
+
+func newStreamWriter(w http.ResponseWriter, r *http.Request) *streamWriter {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	sw := &streamWriter{done: make(chan struct{})}
+	sw.cond = sync.NewCond(&sw.mu)
+	if gzipAccepted(r.Header) {
+		w.Header().Set("Content-Encoding", "gzip")
+		sw.gz = gzip.NewWriter(w)
+		sw.out = sw.gz
+	} else {
+		sw.out = w
 	}
+	sw.fl, _ = w.(http.Flusher)
+	go sw.drain()
+	return sw
+}
+
+// enqueue appends one line without ever blocking on the consumer.
+func (sw *streamWriter) enqueue(v any) {
+	line, err := json.Marshal(v)
+	if err != nil {
+		return // wire types always marshal
+	}
+	sw.mu.Lock()
+	if !sw.closed {
+		sw.queue = append(sw.queue, line)
+		sw.cond.Signal()
+	}
+	sw.mu.Unlock()
+}
+
+func (sw *streamWriter) drain() {
+	defer close(sw.done)
+	for {
+		sw.mu.Lock()
+		for len(sw.queue) == 0 && !sw.closed {
+			sw.cond.Wait()
+		}
+		if len(sw.queue) == 0 {
+			sw.mu.Unlock()
+			return // closed and fully drained
+		}
+		line := sw.queue[0]
+		sw.queue = sw.queue[1:]
+		failed := sw.err != nil
+		sw.mu.Unlock()
+		if failed {
+			continue // client gone: keep draining, stop writing
+		}
+		if _, err := sw.out.Write(append(line, '\n')); err != nil {
+			sw.mu.Lock()
+			if sw.err == nil {
+				sw.err = err
+			}
+			sw.mu.Unlock()
+			continue
+		}
+		sw.flush()
+	}
+}
+
+// flush pushes the line through the gzip framing and out to the client.
+func (sw *streamWriter) flush() {
+	if sw.gz != nil {
+		sw.gz.Flush() //nolint:errcheck // a failed flush surfaces on the next write
+	}
+	if sw.fl != nil {
+		sw.fl.Flush()
+	}
+}
+
+// close drains the queue, finishes the gzip stream, and reports the first
+// write failure.
+func (sw *streamWriter) close() error {
+	sw.mu.Lock()
+	sw.closed = true
+	sw.cond.Signal()
+	sw.mu.Unlock()
+	<-sw.done
+	if sw.gz != nil {
+		if err := sw.gz.Close(); err != nil {
+			sw.mu.Lock()
+			if sw.err == nil {
+				sw.err = err
+			}
+			sw.mu.Unlock()
+		}
+	}
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	return sw.err
 }
 
 // drainClose discards the remainder of a response body and closes it, so

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -31,6 +32,20 @@ type CellCache interface {
 // engine owns that path.
 type CellResolver interface {
 	ResolveCell(key string, job CellJob, opts Options) (Run, bool, error)
+}
+
+// ExperimentResolver is an optional CellCache extension one level above
+// CellResolver: a cache that can resolve a whole experiment spec in one
+// round trip — the farm HTTPCache in compute mode, whose single streaming
+// request replaces one POST per cell. Each cell is handed to deliver as
+// it arrives (already validated by the implementation); (0, nil) means
+// the cache has no experiment path and the caller loses nothing by
+// resolving per cell. The failure contract matches the rest of the cache
+// surface: deliver what arrived, return the error, and the engine
+// resolves the remainder per cell — a broken stream costs time, never
+// the run.
+type ExperimentResolver interface {
+	ResolveExperiment(ctx context.Context, spec MatrixSpec, opts Options, deliver func(key string, r Run)) (int, error)
 }
 
 // cacheLookup reads one key from a cache, routing through ResolveCell for
@@ -239,6 +254,29 @@ func (c *TieredCache) ResolveCell(key string, job CellJob, opts Options) (Run, b
 	return c.lookup(key, func(layer CellCache) (Run, bool, error) {
 		return cacheLookup(layer, key, job, opts)
 	})
+}
+
+// ResolveExperiment forwards a whole spec to the first layer that can
+// resolve experiments (ExperimentResolver — the farm client as the slowest
+// layer of the canonical stack), backfilling every faster layer with each
+// streamed cell on the way through. With no such layer it is a clean no-op:
+// the engine resolves per cell as before.
+func (c *TieredCache) ResolveExperiment(ctx context.Context, spec MatrixSpec, opts Options, deliver func(key string, r Run)) (int, error) {
+	for i, layer := range c.layers {
+		er, ok := layer.(ExperimentResolver)
+		if !ok {
+			continue
+		}
+		return er.ResolveExperiment(ctx, spec, opts, func(key string, r Run) {
+			for _, upper := range c.layers[:i] {
+				_ = upper.Put(key, r) // best-effort backfill, like the tier walk
+			}
+			if deliver != nil {
+				deliver(key, r)
+			}
+		})
+	}
+	return 0, nil
 }
 
 // lookup walks the layers fastest-first with read, backfilling every faster

@@ -36,10 +36,13 @@ type CellResult struct {
 
 // EngineStats is the engine's cell accounting. Cells = Hits + Simulated:
 // every request either hit the cache or ran the simulator (single-flight
-// waiters count as hits — the work ran once).
+// waiters count as hits — the work ran once). Coalesced splits the hits:
+// it counts the waiters that joined an in-flight execution rather than
+// reading a finished cache entry.
 type EngineStats struct {
 	Cells     int    // cell requests resolved
 	Hits      int    // served from the cache (or a coalesced in-flight run)
+	Coalesced int    // subset of Hits: waiters that joined an in-flight run
 	Simulated int    // actually simulated by this engine
 	SimCycles uint64 // simulated cycles executed (warmup included), misses only
 }
@@ -63,7 +66,8 @@ type flight struct {
 // Engine executes content-addressed cells at most once per key.
 type Engine struct {
 	version string
-	cache   CellCache // may be nil: single-flight dedup only
+	cache   CellCache     // may be nil: single-flight dedup only
+	gate    chan struct{} // bounds concurrent simulations (nil: unbounded)
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -97,6 +101,20 @@ func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.stats
+}
+
+// SetSimulationBound caps concurrent simulations at n (zero or negative:
+// unbounded). Only the simulator run itself queues on the bound — cache
+// hits, coalesced waiters, and resolver forwards are never held up — so a
+// server can bound its local compute load to the CPU count without
+// serializing its I/O. Set before the engine is shared; the bound is not
+// safe to change mid-run.
+func (e *Engine) SetSimulationBound(n int) {
+	if n > 0 {
+		e.gate = make(chan struct{}, n)
+	} else {
+		e.gate = nil
+	}
 }
 
 // Subscribe registers fn to receive every completed cell until the
@@ -172,6 +190,7 @@ func (e *Engine) cell(job CellJob, opts Options) (CellResult, error) {
 			e.mu.Lock()
 			e.stats.Cells++
 			e.stats.Hits++
+			e.stats.Coalesced++
 			e.mu.Unlock()
 			return res, nil
 		}
@@ -207,7 +226,13 @@ func (e *Engine) resolve(key string, job CellJob, opts Options) (CellResult, err
 			opts.logf("harness: cell cache read %s: %v (re-simulating)", key, err)
 		}
 	}
+	if e.gate != nil {
+		e.gate <- struct{}{}
+	}
 	r, err := RunOne(job.Config, job.Scheme, job.Bench, opts)
+	if e.gate != nil {
+		<-e.gate
+	}
 	if err != nil {
 		return CellResult{}, err
 	}
@@ -217,6 +242,27 @@ func (e *Engine) resolve(key string, job CellJob, opts Options) (CellResult, err
 		}
 	}
 	return CellResult{Key: key, Job: job, Run: r}, nil
+}
+
+// PrefetchExperiment resolves a whole spec through the cache's experiment
+// path when it has one (ExperimentResolver — the farm client in compute
+// mode as the slowest tier): one streaming request warms the faster cache
+// layers with every cell, so the per-cell resolution that follows is all
+// local hits and a cold remote experiment costs one request, not one per
+// cell. Returns the number of cells delivered. Failures follow the cache
+// contract — report through opts.Progress and fall back to per-cell
+// resolution, never fail the run.
+func (e *Engine) PrefetchExperiment(ctx context.Context, spec MatrixSpec, opts Options) int {
+	er, ok := e.cache.(ExperimentResolver)
+	if !ok || len(spec.Schemes) == 0 {
+		return 0
+	}
+	n, err := er.ResolveExperiment(ctx, spec, opts, nil)
+	if err != nil {
+		opts.logf("harness: experiment %q stream: %v (%d cells delivered; resolving per cell)",
+			spec.Name, err, n)
+	}
+	return n
 }
 
 // RunCells resolves jobs on a bounded pool of opts.Parallelism workers

@@ -18,7 +18,9 @@ import (
 // never results. The farm protocol (internal/farm) posts this form to the
 // compute endpoint; a server that resolves it through its own Engine
 // arrives at the same content-addressed key as the client, because the
-// fingerprint hashes exactly the fields carried here.
+// fingerprint hashes exactly the fields carried here. ExperimentJobWire is
+// the same idea one level up: a whole MatrixSpec on the wire, enumerated
+// to per-cell jobs — and per-cell keys — identically on both ends.
 
 // CellJobWire is the serializable form of one cell request.
 type CellJobWire struct {
@@ -65,4 +67,94 @@ func (w CellJobWire) Resolve() (CellJob, Options, error) {
 	job := CellJob{Config: w.Config, Scheme: kind, Bench: w.Profile}
 	opts := Options{Scale: max(w.Scale, 1), WarmupCycles: w.Warmup, MeasureCycles: w.Measure}
 	return job, opts, nil
+}
+
+// CellKey returns the content-addressed key of one (job, options) cell
+// under the default simulator version stamp — the identity every farm
+// process derives for the job, and the one streamed experiment cells are
+// validated against on the way back.
+func CellKey(job CellJob, opts Options) string {
+	return CellFingerprint(core.SimVersion, job.Config, job.Scheme, job.Bench, opts)
+}
+
+// ExperimentJobWire is the serializable form of one whole experiment
+// request: a MatrixSpec flattened the same way CellJobWire flattens one
+// cell — configurations in full, schemes by registered name, workload
+// profiles in full, plus the result-affecting option fields. The receiver
+// enumerates the cross product in the canonical order (config-major, then
+// scheme, then benchmark) and arrives at exactly the per-cell keys the
+// sender derives, because every enumerated cell carries exactly the
+// fingerprinted fields.
+type ExperimentJobWire struct {
+	Name    string              `json:"name"`
+	Configs []core.Config       `json:"configs"`
+	Schemes []string            `json:"schemes"`
+	Benches []workloads.Profile `json:"benches"`
+	Scale   int                 `json:"scale"`
+	Warmup  uint64              `json:"warmup"`
+	Measure uint64              `json:"measure"`
+}
+
+// maxWireCells bounds the cross product one experiment request may ask a
+// server to enumerate — the full paper evaluation is 504 cells, so 8192
+// is generous headroom, not a constraint.
+const maxWireCells = 8192
+
+// WireExperiment flattens a resolved spec (Schemes filled — the session
+// resolves its scheme axis before wiring) and its run bounds.
+func WireExperiment(spec MatrixSpec, opts Options) ExperimentJobWire {
+	names := make([]string, len(spec.Schemes))
+	for i, k := range spec.Schemes {
+		names[i] = k.String()
+	}
+	return ExperimentJobWire{
+		Name:    spec.Name,
+		Configs: append([]core.Config(nil), spec.Configs...),
+		Schemes: names,
+		Benches: append([]workloads.Profile(nil), spec.Benches...),
+		Scale:   max(opts.Scale, 1), // CellFingerprint and RunOne clamp the same way
+		Warmup:  opts.WarmupCycles,
+		Measure: opts.MeasureCycles,
+	}
+}
+
+// Resolve validates the wire form and enumerates its cell jobs in the
+// canonical order, with the same contract as CellJobWire.Resolve: scheme
+// names must resolve in this process's registry, configurations must pass
+// structural validation, and a degenerate or oversized cross product is an
+// error here, never a crash or a runaway enumeration inside the server.
+func (w ExperimentJobWire) Resolve() ([]CellJob, Options, error) {
+	if len(w.Configs) == 0 || len(w.Schemes) == 0 || len(w.Benches) == 0 {
+		return nil, Options{}, fmt.Errorf(
+			"harness: wire experiment %q: empty axis (%d configs × %d schemes × %d benches)",
+			w.Name, len(w.Configs), len(w.Schemes), len(w.Benches))
+	}
+	if n := len(w.Configs) * len(w.Schemes) * len(w.Benches); n > maxWireCells {
+		return nil, Options{}, fmt.Errorf("harness: wire experiment %q: %d cells exceeds the %d-cell limit",
+			w.Name, n, maxWireCells)
+	}
+	schemes := make([]core.SchemeKind, len(w.Schemes))
+	for i, name := range w.Schemes {
+		kind, ok := core.SchemeKindByName(name)
+		if !ok {
+			return nil, Options{}, fmt.Errorf("harness: wire experiment %q: unknown scheme %q (known: %s)",
+				w.Name, name, strings.Join(core.SchemeNames(), ", "))
+		}
+		schemes[i] = kind
+	}
+	for i := range w.Configs {
+		if err := w.Configs[i].Validate(); err != nil {
+			return nil, Options{}, fmt.Errorf("harness: wire experiment %q: %w", w.Name, err)
+		}
+	}
+	for _, p := range w.Benches {
+		if p.Name == "" {
+			return nil, Options{}, fmt.Errorf("harness: wire experiment %q: empty workload profile", w.Name)
+		}
+	}
+	if w.Measure == 0 {
+		return nil, Options{}, fmt.Errorf("harness: wire experiment %q: zero measurement window", w.Name)
+	}
+	opts := Options{Scale: max(w.Scale, 1), WarmupCycles: w.Warmup, MeasureCycles: w.Measure}
+	return enumerateJobs(w.Configs, schemes, w.Benches), opts, nil
 }

@@ -184,3 +184,96 @@ func TestTieredCacheResolveCellBackfill(t *testing.T) {
 		t.Fatalf("second lookup reached the resolver (resolves=%d)", remote.resolves)
 	}
 }
+
+// TestWireExperimentKeyIdentity: a whole experiment that crosses the wire
+// must enumerate to exactly the per-cell key set the sender derives — the
+// identity that lets streamed cells be validated against locally computed
+// keys without ever sending keys in the request.
+func TestWireExperimentKeyIdentity(t *testing.T) {
+	_, opts := wireTestJob(t)
+	spec := MatrixSpec{
+		Name:    "wire-identity",
+		Configs: []core.Config{core.SmallConfig(), core.MegaConfig()},
+		Schemes: []core.SchemeKind{core.KindBaseline, core.KindSTTIssue, core.KindNDA},
+	}
+	for _, name := range []string{"505.mcf", "520.omnetpp"} {
+		p, err := workloads.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Benches = append(spec.Benches, p)
+	}
+	want := map[string]bool{}
+	for _, j := range enumerateJobs(spec.Configs, spec.Schemes, spec.Benches) {
+		want[CellKey(j, opts)] = true
+	}
+
+	data, err := json.Marshal(WireExperiment(spec, opts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w ExperimentJobWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	jobs, wopts, err := w.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != len(want) {
+		t.Fatalf("wire round trip enumerated %d cells, want %d", len(jobs), len(want))
+	}
+	for _, j := range jobs {
+		if !want[CellKey(j, wopts)] {
+			t.Fatalf("wire round trip invented cell key for %s/%s/%s", j.Config.Name, j.Scheme, j.Bench.Name)
+		}
+	}
+}
+
+// TestWireExperimentValidation: corrupted or oversized experiment requests
+// are rejected at Resolve, never enumerated or simulated.
+func TestWireExperimentValidation(t *testing.T) {
+	_, opts := wireTestJob(t)
+	prof, err := workloads.ByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := WireExperiment(MatrixSpec{
+		Name:    "validate",
+		Configs: []core.Config{core.SmallConfig()},
+		Schemes: []core.SchemeKind{core.KindBaseline},
+		Benches: []workloads.Profile{prof},
+	}, opts)
+
+	cases := []struct {
+		name   string
+		mutate func(*ExperimentJobWire)
+	}{
+		{"empty configs", func(w *ExperimentJobWire) { w.Configs = nil }},
+		{"empty schemes", func(w *ExperimentJobWire) { w.Schemes = nil }},
+		{"empty benches", func(w *ExperimentJobWire) { w.Benches = nil }},
+		{"unknown scheme", func(w *ExperimentJobWire) { w.Schemes = []string{"no-such-scheme"} }},
+		{"invalid config", func(w *ExperimentJobWire) { w.Configs[0].Width = 99 }},
+		{"empty profile", func(w *ExperimentJobWire) { w.Benches = []workloads.Profile{{}} }},
+		{"zero window", func(w *ExperimentJobWire) { w.Measure = 0 }},
+		{"oversized product", func(w *ExperimentJobWire) {
+			w.Benches = make([]workloads.Profile, maxWireCells+1)
+			for i := range w.Benches {
+				w.Benches[i] = prof
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := good
+			w.Configs = append([]core.Config(nil), good.Configs...)
+			tc.mutate(&w)
+			if _, _, err := w.Resolve(); err == nil {
+				t.Fatalf("%s: Resolve accepted a bad wire experiment", tc.name)
+			}
+		})
+	}
+	if jobs, _, err := good.Resolve(); err != nil || len(jobs) != 1 {
+		t.Fatalf("unmutated wire experiment rejected: jobs=%d err=%v", len(jobs), err)
+	}
+}

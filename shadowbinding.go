@@ -25,9 +25,11 @@
 // keyed by a fingerprint of its inputs plus a simulator version stamp —
 // executed at most once per key on a bounded worker pool
 // (Options.Parallelism; zero means all CPUs), streamed to subscribers as
-// it completes, and persisted through a pluggable CellCache
-// (OpenCellCache gives the standard in-memory LRU over an on-disk JSON
-// store), so a warm re-run simulates nothing. Results are deterministic:
+// it completes, and persisted through a pluggable CellCache — OpenCache
+// assembles the standard stack: an in-memory LRU, over an on-disk JSON
+// store (CacheOptions.Dir), over a shared farm (CacheOptions.Remote, with
+// RemoteCompute asking the farm to simulate misses and stream whole
+// experiments) — so a warm re-run simulates nothing. Results are deterministic:
 // identical matrices and figure text at any parallelism and any cache
 // temperature. NewEvaluation and RunMatrix remain as eager compatibility
 // wrappers over the same engine.
@@ -104,47 +106,145 @@ type (
 	// CellJobWire is the serializable form of one cell request — what the
 	// farm protocol posts to the compute endpoint.
 	CellJobWire = harness.CellJobWire
+	// ExperimentJobWire is the serializable form of one whole experiment
+	// request — what POST /v1/experiments carries; the receiver enumerates
+	// the identical per-cell key set.
+	ExperimentJobWire = harness.ExperimentJobWire
+	// ExperimentResolver is the optional CellCache extension behind
+	// streamed experiments: a cache that can resolve a whole MatrixSpec in
+	// one round trip (the farm client in compute mode implements it).
+	ExperimentResolver = harness.ExperimentResolver
 
 	// FarmServer is the networked cell-farm service (cmd/shadowbindingd):
 	// remote CellCache on GET/PUT, compute-on-miss with fleet-wide
-	// single-flight on POST, optional worker fan-out, /v1/stats counters.
+	// single-flight on POST, streamed whole experiments on
+	// POST /v1/experiments, rendezvous-hashed worker fan-out with health
+	// tracking, /v1/stats counters with latency percentiles.
 	FarmServer = farm.Server
 	// FarmServerConfig parameterizes NewFarmServer.
 	FarmServerConfig = farm.ServerConfig
 	// FarmStats is the farm server's counter snapshot.
 	FarmStats = farm.Stats
 	// HTTPCache is a CellCache speaking the farm protocol — the client
-	// side of -remote. It also implements harness.CellResolver, so in
-	// compute mode a miss asks the farm to simulate the cell.
+	// side of -remote. It also implements harness.CellResolver (compute
+	// mode asks the farm to simulate a missing cell) and
+	// harness.ExperimentResolver (a whole matrix becomes one streaming
+	// request).
 	HTTPCache = farm.HTTPCache
 	// HTTPCacheOptions parameterizes NewHTTPCache (timeouts, retries,
 	// backoff, compute mode, breaker).
 	HTTPCacheOptions = farm.HTTPCacheOptions
+	// StreamClient consumes the farm's experiment stream endpoint
+	// directly — OpenCache with RemoteCompute uses it under the hood.
+	StreamClient = farm.StreamClient
+	// StreamError is the typed failure of an experiment stream; its
+	// Delivered count marks how many cells arrived (and remain valid).
+	StreamError = farm.StreamError
 )
+
+// CacheOptions selects the cell-cache stack OpenCache assembles. The zero
+// value is valid and yields a process-private in-memory LRU.
+type CacheOptions struct {
+	// Dir adds a persistent on-disk JSON layer under the memory layer, so
+	// cells survive across processes (the cmds' -cache flag).
+	Dir string
+	// Remote adds a farm-backed layer (base URL, e.g.
+	// "http://127.0.0.1:8484") as the slowest tier — a shared fleet-wide
+	// store (the cmds' -remote flag).
+	Remote string
+	// RemoteCompute additionally asks the farm to simulate missing cells —
+	// single cells on miss, and whole experiments as one streaming request
+	// (the cmds' -remote-compute flag). Requires Remote.
+	RemoteCompute bool
+	// MemoryCap bounds the in-memory LRU layer in entries (zero:
+	// DefaultMemoryCacheSize).
+	MemoryCap int
+}
+
+// OpenCache assembles the standard cell-cache stack from options: an
+// in-memory LRU, over an on-disk store when Dir is set, over a farm client
+// when Remote is set — fastest-first, with every hit backfilling the
+// faster layers. This is the one cache constructor; the layer-specific
+// constructors below remain as deprecated wrappers.
+func OpenCache(opt CacheOptions) (CellCache, error) {
+	if opt.RemoteCompute && opt.Remote == "" {
+		return nil, fmt.Errorf("shadowbinding: CacheOptions.RemoteCompute needs a Remote farm URL")
+	}
+	layers := []harness.CellCache{harness.NewMemoryCache(opt.MemoryCap)}
+	if opt.Dir != "" {
+		disk, err := harness.NewDiskCache(opt.Dir)
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, disk)
+	}
+	if opt.Remote != "" {
+		layers = append(layers, farm.NewHTTPCache(opt.Remote, farm.HTTPCacheOptions{Compute: opt.RemoteCompute}))
+	}
+	if len(layers) == 1 {
+		return layers[0], nil
+	}
+	return harness.NewTieredCache(layers...), nil
+}
+
+// DefaultMemoryCacheSize is the in-memory layer's default entry bound.
+const DefaultMemoryCacheSize = harness.DefaultMemoryCacheSize
+
+// OpenCellCache builds the memory(+disk) cache stack.
+//
+// Deprecated: Use OpenCache(CacheOptions{Dir: dir}).
+func OpenCellCache(dir string) (CellCache, error) { return harness.OpenCellCache(dir) }
+
+// NewMemoryCache returns a bounded in-memory LRU cell store.
+//
+// Deprecated: Use OpenCache; the zero CacheOptions gives exactly this
+// layer. Compose layers manually only for custom CellCache implementations.
+func NewMemoryCache(capacity int) CellCache { return harness.NewMemoryCache(capacity) }
+
+// NewDiskCache opens an on-disk JSON cell store.
+//
+// Deprecated: Use OpenCache(CacheOptions{Dir: dir}), which layers the
+// standard in-memory LRU on top.
+func NewDiskCache(dir string) (CellCache, error) { return harness.NewDiskCache(dir) }
+
+// NewTieredCache layers cell caches fastest-first.
+//
+// Deprecated: Use OpenCache for the standard stacks; compose manually only
+// for custom CellCache implementations.
+func NewTieredCache(layers ...CellCache) CellCache { return harness.NewTieredCache(layers...) }
+
+// NewHTTPCache returns a farm-backed cell cache for a daemon's base URL.
+//
+// Deprecated: Use OpenCache(CacheOptions{Remote: url, RemoteCompute: ...}),
+// which layers it under the standard local stack; construct directly only
+// to tune HTTPCacheOptions.
+func NewHTTPCache(baseURL string, opt HTTPCacheOptions) *HTTPCache {
+	return farm.NewHTTPCache(baseURL, opt)
+}
+
+// ErrStreamTruncated marks an experiment stream that died before its
+// trailer; errors.Is against a StreamClient failure detects it.
+var ErrStreamTruncated = farm.ErrStreamTruncated
 
 // The Session API surface, backed by the harness cell engine.
 var (
 	// NewSession opens a lazy evaluation session.
 	NewSession = harness.NewSession
-	// OpenCellCache builds the standard cache stack: an in-memory LRU,
-	// over an on-disk JSON store when dir is non-empty.
-	OpenCellCache = harness.OpenCellCache
-	// NewMemoryCache returns a bounded in-memory LRU cell store.
-	NewMemoryCache = harness.NewMemoryCache
-	// NewDiskCache opens an on-disk JSON cell store.
-	NewDiskCache = harness.NewDiskCache
-	// NewTieredCache layers cell caches fastest-first.
-	NewTieredCache = harness.NewTieredCache
 
 	// NewFarmServer builds the cell-farm HTTP service; serve its
 	// Handler() with any http.Server (see cmd/shadowbindingd).
 	NewFarmServer = farm.NewServer
-	// NewHTTPCache returns a farm-backed cell cache for a daemon's base
-	// URL — layer it under the local stack with NewTieredCache, or let
-	// the cmds' -remote flag do it.
-	NewHTTPCache = farm.NewHTTPCache
+	// NewStreamClient returns a client for the farm's experiment stream
+	// endpoint (nil *http.Client for defaults).
+	NewStreamClient = farm.NewStreamClient
 	// WireJob flattens a (CellJob, Options) pair into its wire form.
 	WireJob = harness.WireJob
+	// WireExperiment flattens a resolved MatrixSpec (Schemes filled) and
+	// its run bounds into the experiment wire form.
+	WireExperiment = harness.WireExperiment
+	// CellKey derives the content-addressed key of one (job, options)
+	// cell — the identity streamed experiment cells validate against.
+	CellKey = harness.CellKey
 
 	// RegisterExperiment adds a drop-in experiment: its id joins
 	// ExperimentIDs, every cmd's -experiment flag, and Session.Experiment.

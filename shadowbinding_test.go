@@ -2,6 +2,7 @@ package shadowbinding
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -193,5 +194,92 @@ func TestExperimentIDs(t *testing.T) {
 	}
 	if _, err := e.Experiment("fig99"); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestOpenCacheFacade: the one cache constructor assembles every standard
+// stack, validates its options, and feeds a Session end to end.
+func TestOpenCacheFacade(t *testing.T) {
+	// Zero options: a usable in-memory cache.
+	mem, err := OpenCache(CacheOptions{})
+	if err != nil || mem == nil {
+		t.Fatalf("zero options: %v", err)
+	}
+
+	// Dir: a persistent layer — cells written through one cache are
+	// readable through a second one over the same directory.
+	dir := t.TempDir()
+	c1, err := OpenCache(CacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.WarmupCycles = 1_000
+	opts.MeasureCycles = 3_000
+	s1 := NewSession(SessionConfig{Options: opts, Cache: c1})
+	prof, err := BenchmarkByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Run(context.Background(), MegaConfig(), Baseline, prof); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenCache(CacheOptions{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewSession(SessionConfig{Options: opts, Cache: c2})
+	if _, err := s2.Run(context.Background(), MegaConfig(), Baseline, prof); err != nil {
+		t.Fatal(err)
+	}
+	if st := s2.Stats(); st.Simulated != 0 || st.Hits != 1 {
+		t.Fatalf("disk layer not shared across caches: %+v", st)
+	}
+
+	// RemoteCompute without Remote is a configuration error, not a
+	// silently local cache.
+	if _, err := OpenCache(CacheOptions{RemoteCompute: true}); err == nil {
+		t.Fatal("RemoteCompute without Remote accepted")
+	}
+
+	// Remote: the farm layer slots in as the slowest tier.
+	if _, err := OpenCache(CacheOptions{Remote: "http://127.0.0.1:1", RemoteCompute: true}); err != nil {
+		t.Fatalf("remote stack: %v", err)
+	}
+}
+
+// TestStreamExportsFacade: the experiment-stream surface is reachable
+// through the facade — wire form, key derivation, client, typed errors.
+func TestStreamExportsFacade(t *testing.T) {
+	opts := DefaultOptions()
+	opts.WarmupCycles = 1_000
+	opts.MeasureCycles = 3_000
+	prof, err := BenchmarkByName("505.mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := MatrixSpec{
+		Name:    "facade-stream",
+		Configs: []Config{MegaConfig()},
+		Benches: []Benchmark{prof},
+		Schemes: []Scheme{Baseline},
+	}
+	wire := WireExperiment(spec, opts)
+	if wire.Name != "facade-stream" || len(wire.Schemes) != 1 {
+		t.Fatalf("wire form: %+v", wire)
+	}
+	key := CellKey(CellJob{Config: MegaConfig(), Scheme: Baseline, Bench: prof}, opts)
+	if len(key) != 32 {
+		t.Fatalf("cell key %q is not a fingerprint", key)
+	}
+	// A dead farm yields the typed transport error, not a panic or a bare
+	// string.
+	_, err = NewStreamClient("http://127.0.0.1:1", nil).Experiment(context.Background(), wire, nil)
+	var se *StreamError
+	if !errors.As(err, &se) {
+		t.Fatalf("stream failure not typed: %v", err)
+	}
+	if errors.Is(err, ErrStreamTruncated) {
+		t.Fatalf("transport failure misreported as truncation: %v", err)
 	}
 }
